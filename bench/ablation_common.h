@@ -1,0 +1,84 @@
+#ifndef ADAFGL_BENCH_ABLATION_COMMON_H_
+#define ADAFGL_BENCH_ABLATION_COMMON_H_
+
+/// Shared driver for the Table VI / Table VII component ablations.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace adafgl {
+namespace bench {
+
+struct AblationRow {
+  const char* module;
+  const char* component;
+  void (*apply)(AdaFglOptions*);
+};
+
+inline const AblationRow kAblationRows[] = {
+    {"Homo.", "w/o K.P.",
+     [](AdaFglOptions* o) { o->use_knowledge_preserving = false; }},
+    {"Hete.", "w/o T.F.",
+     [](AdaFglOptions* o) { o->use_topology_independent = false; }},
+    {"Hete.", "w/o L.M.",
+     [](AdaFglOptions* o) { o->use_learnable_message = false; }},
+    {"Ada.", "w/o L.T.",
+     [](AdaFglOptions* o) { o->use_local_topology = false; }},
+    {"Ada.", "w/o HCS", [](AdaFglOptions* o) { o->use_hcs = false; }},
+    {"AdaFGL", "-", [](AdaFglOptions*) {}},
+};
+
+/// Prints one ablation table (the paper's Tables VI/VII layout) and a
+/// shape summary counting ablation cells that fall at or below full
+/// AdaFGL.
+inline int RunAblationTable(const char* table_name,
+                            const std::vector<std::string>& datasets) {
+  PrintPreamble(table_name, "AdaFGL component ablation");
+  std::vector<std::string> header = {"Module", "Component"};
+  for (const auto& d : datasets) {
+    header.push_back(d + "/Com.");
+    header.push_back(d + "/NonIID");
+  }
+  TablePrinter table(header, 14);
+  table.PrintHeader();
+  std::vector<std::vector<double>> all_means;
+  for (const AblationRow& row : kAblationRows) {
+    std::vector<std::string> cells = {row.module, row.component};
+    std::vector<double> means;
+    for (const auto& dataset : datasets) {
+      for (const char* split : {"community", "noniid"}) {
+        ExperimentSpec spec;
+        spec.dataset = dataset;
+        spec.split = split;
+        spec.fed = BenchFedConfig();
+        spec.fed.rounds = std::max(8, spec.fed.rounds / 2);
+        AdaFglOptions opt;
+          opt.personalized_epochs = 25;
+        row.apply(&opt);
+        const MeanStd acc = RunAdaFglCell(spec, opt);
+        means.push_back(acc.mean);
+        cells.push_back(FormatAccPct(acc));
+      }
+    }
+    all_means.push_back(means);
+    table.PrintRow(cells);
+  }
+  const std::vector<double>& full = all_means.back();
+  int below = 0, total = 0;
+  for (size_t r = 0; r + 1 < all_means.size(); ++r) {
+    for (size_t c = 0; c < full.size(); ++c) {
+      ++total;
+      below += (all_means[r][c] <= full[c] + 1e-9);
+    }
+  }
+  std::printf("[shape] %d/%d ablation cells at or below full AdaFGL\n",
+              below, total);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace adafgl
+
+#endif  // ADAFGL_BENCH_ABLATION_COMMON_H_

@@ -1,0 +1,65 @@
+#ifndef ADAFGL_BENCH_BENCH_UTIL_H_
+#define ADAFGL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/registry.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace adafgl {
+namespace bench {
+
+/// Number of repetitions per cell; override with ADAFGL_SEEDS.
+inline int BenchSeeds() { return EnvInt("ADAFGL_SEEDS", 1); }
+
+/// Runs one (dataset, split, algorithm) cell over the bench seed count.
+inline MeanStd RunCell(const ExperimentSpec& spec,
+                       const std::string& algorithm) {
+  return Aggregate(RunExperiment(spec, algorithm, BenchSeeds()));
+}
+
+/// Runs AdaFGL with explicit options (ablation/sensitivity cells).
+inline MeanStd RunAdaFglCell(const ExperimentSpec& spec,
+                             const AdaFglOptions& options) {
+  std::vector<double> accs;
+  for (int s = 0; s < BenchSeeds(); ++s) {
+    const uint64_t seed = 1000ULL + 7ULL * s;
+    FederatedDataset data = PrepareFederatedDataset(spec, seed);
+    FedConfig cfg = spec.fed;
+    cfg.seed = seed ^ 0xa15eedULL;
+    Result<DatasetSpec> ds = FindDataset(spec.dataset);
+    if (ds.ok()) cfg.inductive = ds.value().inductive;
+    accs.push_back(RunAdaFglAsFed(data, cfg, options).final_test_acc);
+  }
+  return Aggregate(accs);
+}
+
+/// Standard bench preamble: what the binary reproduces + knobs in effect.
+inline void PrintPreamble(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("(synthetic stand-in datasets; shapes, not absolute numbers,\n");
+  std::printf(" are the reproduction target — see DESIGN.md §1)\n");
+  std::printf("seeds=%d rounds=%d  [env: ADAFGL_SEEDS, ADAFGL_ROUNDS]\n",
+              BenchSeeds(), EnvInt("ADAFGL_ROUNDS", 15));
+  std::printf("==============================================================\n");
+}
+
+/// Marks the best entry of a row of formatted accuracy cells with a '*'.
+inline void MarkBest(std::vector<std::string>* cells,
+                     const std::vector<double>& means) {
+  if (means.empty()) return;
+  size_t best = 0;
+  for (size_t i = 1; i < means.size(); ++i) {
+    if (means[i] > means[best]) best = i;
+  }
+  (*cells)[best] += "*";
+}
+
+}  // namespace bench
+}  // namespace adafgl
+
+#endif  // ADAFGL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+/// Reproduces Fig. 2: the empirical analysis motivating structure Non-iid
+/// split, on Cora with 10 clients.
+///   (a) per-client label distributions under both splits;
+///   (b) per-client node/edge homophily under both splits;
+///   (c) convergence of a federated GCN under both splits;
+///   (d) per-client final accuracy under both splits.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/metrics.h"
+
+using namespace adafgl;
+
+int main() {
+  bench::PrintPreamble("Fig. 2", "empirical analysis on Cora, 10 clients");
+  for (const char* split : {"community", "noniid"}) {
+    ExperimentSpec spec;
+    spec.dataset = "Cora";
+    spec.split = split;
+    spec.fed = BenchFedConfig();
+    FederatedDataset data = PrepareFederatedDataset(spec, 1000);
+    std::printf("\n=== %s split ===\n", split);
+
+    std::printf("(a) label distribution per client "
+                "(rows: clients, cols: classes)\n");
+    for (int32_t c = 0; c < data.num_clients(); ++c) {
+      const auto hist = LabelHistogram(data.clients[c].labels,
+                                       data.clients[c].num_classes);
+      std::printf("  client %2d:", c);
+      for (int64_t count : hist) std::printf(" %4lld",
+                                             static_cast<long long>(count));
+      std::printf("\n");
+    }
+
+    std::printf("(b) per-client homophily (node / edge)\n  ");
+    for (int32_t c = 0; c < data.num_clients(); ++c) {
+      std::printf("c%d:%.2f/%.2f ", c,
+                  NodeHomophily(data.clients[c].adj, data.clients[c].labels),
+                  EdgeHomophily(data.clients[c].adj, data.clients[c].labels));
+    }
+    std::printf("\n");
+
+    FedConfig cfg = spec.fed;
+    cfg.seed = 77;
+    FedRunResult r = RunFedAvg(data, cfg);
+    std::printf("(c) FedGCN convergence (round: accuracy)\n  ");
+    for (const RoundRecord& rec : r.history) {
+      std::printf("%d:%.3f ", rec.round, rec.test_acc);
+    }
+    std::printf("\n(d) per-client final accuracy\n  ");
+    for (size_t c = 0; c < r.client_test_acc.size(); ++c) {
+      std::printf("c%zu:%.3f ", c, r.client_test_acc[c]);
+    }
+    std::printf("\n");
+
+    // Shape summary: homophily spread is wider under structure Non-iid.
+    double min_h = 1.0, max_h = 0.0;
+    for (const Graph& c : data.clients) {
+      const double h = EdgeHomophily(c.adj, c.labels);
+      min_h = std::min(min_h, h);
+      max_h = std::max(max_h, h);
+    }
+    std::printf("[shape] edge-homophily spread across clients: %.3f\n",
+                max_h - min_h);
+  }
+  return 0;
+}

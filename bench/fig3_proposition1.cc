@@ -1,0 +1,106 @@
+/// Reproduces Fig. 3 / Proposition 1: "topological homophily attracts both
+/// the global model and optima, while topological heterophily diverges
+/// them." Two two-client federations share identical features and labels;
+/// one client keeps homophilous topology in both, the other is homophilous
+/// in federation A and heterophily-injected in federation B. We measure
+/// the parameter distance between each client's local optimum (trained to
+/// convergence alone) and the FedAvg global model.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/injection.h"
+#include "data/synthetic.h"
+#include "fed/federation.h"
+#include "tensor/matrix_ops.h"
+
+using namespace adafgl;
+
+namespace {
+
+double WeightDistance(const std::vector<Matrix>& a,
+                      const std::vector<Matrix>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += FrobeniusDistanceSquared(a[i], b[i]);
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<Matrix> LocalOptimum(const Graph& g, const FedConfig& cfg,
+                                 const std::vector<Matrix>& init) {
+  FedClient solo(g, cfg, 99);
+  solo.SetGlobalWeights(init);
+  solo.TrainEpochs(120);
+  return solo.Weights();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintPreamble("Fig. 3 / Proposition 1",
+                       "global model vs local optima under topology "
+                       "variation");
+  SbmParams p;
+  p.num_nodes = 300;
+  p.num_classes = 3;
+  p.num_edges = 1200;
+  p.edge_homophily = 0.9;
+  p.feature_dim = 16;
+  p.feature_signal = 0.5;
+  p.train_frac = 0.3;
+  p.val_frac = 0.2;
+  Rng rng(5);
+  Graph a = GenerateSbmGraph(p, rng);
+  Graph b = GenerateSbmGraph(p, rng);
+
+  FedConfig cfg;
+  cfg.rounds = EnvInt("ADAFGL_ROUNDS", 20);
+  cfg.local_epochs = 3;
+  cfg.post_local_epochs = 0;
+  cfg.hidden = 16;
+  cfg.seed = 11;
+
+  TablePrinter table({"Federation", "dist(c0 opt)", "dist(c1 opt)",
+                      "acc(c0)", "acc(c1)", "global acc"},
+                     13);
+  table.PrintHeader();
+  // Divergence is measured where it bites: the global model's accuracy on
+  // the client whose topology was flipped (the parameter-space distance is
+  // printed too, but is noisy under permutation/scale invariances).
+  double homo_acc = 0.0, hete_acc = 0.0;
+  for (const char* scenario : {"homo+homo", "homo+hete"}) {
+    Graph b_used = b;
+    if (scenario == std::string("homo+hete")) {
+      Rng inj_rng(7);
+      b_used = RandomInjection(b, InjectionType::kHeterophilous, 1.0,
+                               inj_rng);
+    }
+    FederatedDataset fed;
+    fed.clients = {a, b_used};
+    fed.global_ids = {{}, {}};
+    FedRunResult r = RunFedAvg(fed, cfg);
+    const auto opt_a = LocalOptimum(a, cfg, r.global_weights);
+    const auto opt_b = LocalOptimum(b_used, cfg, r.global_weights);
+    const double da = WeightDistance(r.global_weights, opt_a);
+    const double db = WeightDistance(r.global_weights, opt_b);
+    if (scenario == std::string("homo+homo")) {
+      homo_acc = r.client_test_acc[1];
+    } else {
+      hete_acc = r.client_test_acc[1];
+    }
+    char ca[32], cb[32], a0[32], a1[32], acc[32];
+    std::snprintf(ca, sizeof(ca), "%.3f", da);
+    std::snprintf(cb, sizeof(cb), "%.3f", db);
+    std::snprintf(a0, sizeof(a0), "%.3f", r.client_test_acc[0]);
+    std::snprintf(a1, sizeof(a1), "%.3f", r.client_test_acc[1]);
+    std::snprintf(acc, sizeof(acc), "%.3f", r.final_test_acc);
+    table.PrintRow({scenario, ca, cb, a0, a1, acc});
+  }
+  std::printf("[shape] global model accuracy on the flipped client: %.3f "
+              "(homophilous) vs %.3f (heterophily-injected) — %s\n",
+              homo_acc, hete_acc,
+              hete_acc < homo_acc - 0.01 ? "confirms Proposition 1"
+                                         : "NOT confirmed");
+  return 0;
+}

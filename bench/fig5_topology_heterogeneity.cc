@@ -1,0 +1,66 @@
+/// Reproduces Fig. 5: predictive performance under varying degrees of
+/// topology heterogeneity — the structure Non-iid injection ratio is swept
+/// and each method's accuracy tracked. Shape checks: AdaFGL stays best at
+/// every level and degrades most gracefully.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace adafgl;
+
+int main() {
+  bench::PrintPreamble("Fig. 5",
+                       "accuracy vs injection ratio (topology "
+                       "heterogeneity)");
+  const std::vector<double> ratios = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::string> methods = {"FedGCN", "FedGloGNN", "FedGL",
+                                            "FED-PUB", "AdaFGL"};
+  for (const std::string& dataset : {std::string("Computer"),
+                                     std::string("Flickr")}) {
+    std::printf("\n--- %s ---\n", dataset.c_str());
+    std::vector<std::string> header = {"Method"};
+    for (double r : ratios) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "r=%.2f", r);
+      header.push_back(buf);
+    }
+    TablePrinter table(header, 10);
+    table.PrintHeader();
+    std::vector<double> ada_curve, best_other_curve(ratios.size(), 0.0);
+    for (const std::string& method : methods) {
+      std::vector<std::string> cells = {method};
+      std::vector<double> curve;
+      for (size_t ri = 0; ri < ratios.size(); ++ri) {
+        ExperimentSpec spec;
+        spec.dataset = dataset;
+        spec.split = "noniid";
+        spec.injection_ratio = ratios[ri];
+        spec.fed = BenchFedConfig();
+        spec.fed.rounds = std::max(8, spec.fed.rounds / 2);
+        const MeanStd acc = bench::RunCell(spec, method);
+        curve.push_back(acc.mean);
+        cells.push_back(FormatAccPct(acc));
+      }
+      if (method == "AdaFGL") {
+        ada_curve = curve;
+      } else {
+        for (size_t ri = 0; ri < curve.size(); ++ri) {
+          best_other_curve[ri] = std::max(best_other_curve[ri], curve[ri]);
+        }
+      }
+      table.PrintRow(cells);
+    }
+    int wins = 0;
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+      wins += (ada_curve[ri] >= best_other_curve[ri]);
+    }
+    std::printf("[shape] AdaFGL best at %d/%zu heterogeneity levels; "
+                "AdaFGL drop %.1f vs best-baseline drop %.1f (pp)\n",
+                wins, ratios.size(),
+                100.0 * (ada_curve.front() - ada_curve.back()),
+                100.0 * (best_other_curve.front() - best_other_curve.back()));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Reproduces Fig. 9: epoch-wise convergence including AdaFGL's Step-2
+/// personalized phase — AdaFGL starts higher (it begins from the federated
+/// knowledge extractor) and stabilises early, on Cora and Squirrel under
+/// both splits.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/adafgl.h"
+
+using namespace adafgl;
+
+int main() {
+  bench::PrintPreamble("Fig. 9",
+                       "AdaFGL Step-2 epoch-wise convergence vs FedGCN "
+                       "rounds");
+  for (const std::string& dataset : {std::string("Cora"),
+                                     std::string("Squirrel")}) {
+    for (const char* split : {"community", "noniid"}) {
+      std::printf("\n--- %s, %s split ---\n", dataset.c_str(), split);
+      ExperimentSpec spec;
+      spec.dataset = dataset;
+      spec.split = split;
+      spec.fed = BenchFedConfig();
+      FederatedDataset data = PrepareFederatedDataset(spec, 1000);
+
+      FedConfig cfg = spec.fed;
+      cfg.seed = 43;
+      FedRunResult gcn = RunFedAvg(data, cfg);
+      std::printf("FedGCN rounds: ");
+      for (const RoundRecord& rec : gcn.history) {
+        std::printf(" %d:%.3f", rec.round, rec.test_acc);
+      }
+      std::printf("  final=%.3f\n", gcn.final_test_acc);
+
+      AdaFglResult ada = RunAdaFgl(data, cfg, AdaFglOptions());
+      std::printf("AdaFGL Step2 (every 5 personalized epochs): ");
+      for (size_t e = 0; e < ada.step2_epoch_acc.size(); ++e) {
+        std::printf(" %zu:%.3f", 5 * (e + 1), ada.step2_epoch_acc[e]);
+      }
+      std::printf("  final=%.3f\n", ada.final_test_acc);
+      const double start = ada.step2_epoch_acc.empty()
+                               ? 0.0
+                               : ada.step2_epoch_acc.front();
+      std::printf("[shape] AdaFGL initial personalized accuracy %.3f vs "
+                  "FedGCN first-eval %.3f (higher start expected)\n",
+                  start,
+                  gcn.history.empty() ? 0.0 : gcn.history.front().test_acc);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// Kernel microbenchmarks (google-benchmark): throughput of the primitives
+/// every experiment is built on — SpMM, dense matmul, Louvain, the
+/// Metis-like partitioner, label propagation, HCS, and the propagation-
+/// matrix construction of AdaFGL Step 1.
+#include <benchmark/benchmark.h>
+
+#include "core/label_propagation.h"
+#include "core/propagation_matrix.h"
+#include "data/synthetic.h"
+#include "partition/louvain.h"
+#include "partition/metis_like.h"
+#include "tensor/matrix_ops.h"
+
+namespace adafgl {
+namespace {
+
+Graph BenchGraph(int32_t n) {
+  SbmParams p;
+  p.num_nodes = n;
+  p.num_classes = 5;
+  p.num_edges = n * 4;
+  p.edge_homophily = 0.8;
+  p.feature_dim = 64;
+  Rng rng(1);
+  return GenerateSbmGraph(p, rng);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  CsrMatrix norm = GcnNormalized(g.adj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(norm.Multiply(g.features));
+  }
+  state.SetItemsProcessed(state.iterations() * norm.nnz());
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(4000);
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const auto n = static_cast<int64_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(n, n, 1.0f, rng);
+  Matrix b = Matrix::Gaussian(n, 64, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 64);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(256)->Arg(512);
+
+void BM_Louvain(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(Louvain(g.adj, rng));
+  }
+}
+BENCHMARK(BM_Louvain)->Arg(1000)->Arg(4000);
+
+void BM_MetisLike(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(MetisLikePartition(g.adj, 10, rng));
+  }
+}
+BENCHMARK(BM_MetisLike)->Arg(1000)->Arg(4000);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LabelPropagation(g, g.train_nodes));
+  }
+}
+BENCHMARK(BM_LabelPropagation)->Arg(1000)->Arg(4000);
+
+void BM_Hcs(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(HomophilyConfidenceScore(g, 0.5, rng));
+  }
+}
+BENCHMARK(BM_Hcs)->Arg(1000)->Arg(4000);
+
+void BM_PropagationMatrix(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int32_t>(state.range(0)));
+  Rng rng(6);
+  Matrix probs = Softmax(Matrix::Gaussian(g.num_nodes(), 5, 1.0f, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPropagationMatrix(g, probs, 0.5f));
+  }
+}
+BENCHMARK(BM_PropagationMatrix)->Arg(256)->Arg(512);
+
+}  // namespace
+}  // namespace adafgl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+/// Reproduces Table VI: ablation of AdaFGL components (K.P., T.F., L.M.,
+/// L.T., HCS) on homophilous datasets (Computer, Reddit), both splits.
+#include "ablation_common.h"
+
+int main() {
+  return adafgl::bench::RunAblationTable("Table VI", {"Computer", "Reddit"});
+}

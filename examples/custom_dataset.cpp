@@ -1,0 +1,94 @@
+/// Bring-your-own-graph: the public API for plugging a custom dataset into
+/// the federated pipeline.
+///
+/// Shows the full path a downstream user takes: build a Graph from raw
+/// edges/features/labels, create a split, simulate (or map) a federation,
+/// pick a model from the zoo, and train — first centrally, then federated.
+///
+///   ./build/examples/custom_dataset
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "fed/federation.h"
+#include "graph/metrics.h"
+#include "nn/models.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/optim.h"
+
+int main() {
+  using namespace adafgl;
+
+  // --- 1. Build a Graph from raw data. Here: a small ring-of-cliques
+  // "collaboration" graph with hand-made features. ---
+  const int32_t kCliques = 6;
+  const int32_t kSize = 30;
+  const int32_t n = kCliques * kSize;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t q = 0; q < kCliques; ++q) {
+    const int32_t base = q * kSize;
+    for (int32_t i = 0; i < kSize; ++i) {
+      for (int32_t j = i + 1; j < kSize; j += 3) {  // Sparse clique.
+        edges.emplace_back(base + i, base + j);
+      }
+    }
+    // Ring link to the next clique.
+    edges.emplace_back(base, ((q + 1) % kCliques) * kSize);
+  }
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    labels[static_cast<size_t>(v)] = (v / kSize) % 3;  // 3 classes.
+  }
+  Rng rng(8);
+  Matrix features =
+      GenerateClassFeatures(labels, 3, 16, /*signal=*/0.6, /*noise=*/1.0,
+                            rng);
+  Graph g = MakeGraph(n, edges, std::move(features), std::move(labels), 3);
+  StratifiedSplit(&g, /*train_frac=*/0.3, /*val_frac=*/0.2, rng);
+  std::printf("custom graph: %d nodes, %lld edges, homophily %.2f, "
+              "%zu train nodes\n",
+              g.num_nodes(), static_cast<long long>(g.num_edges()),
+              EdgeHomophily(g.adj, g.labels), g.train_nodes.size());
+
+  // --- 2. Central training with any zoo model. ---
+  ModelConfig mc;
+  mc.in_dim = g.feature_dim();
+  mc.num_classes = g.num_classes;
+  mc.hidden = 32;
+  Rng model_rng(9);
+  auto model = CreateModel("GPRGNN", mc, model_rng);
+  GraphContext ctx = GraphContext::Create(g);
+  Adam opt(model->Params(), 0.02f, 5e-4f);
+  Rng train_rng(10);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    opt.ZeroGrad();
+    Tensor logits = model->Forward(ctx, /*training=*/true, train_rng);
+    Backward(ops::CrossEntropyWithLogits(logits, g.labels, g.train_nodes));
+    opt.Step();
+  }
+  Rng eval_rng(11);
+  Tensor logits = model->Forward(ctx, /*training=*/false, eval_rng);
+  std::printf("central GPR-GNN test accuracy: %.1f%%\n",
+              100.0 * Accuracy(logits->value(), g.labels, g.test_nodes));
+
+  // --- 3. Federate it. In production each client wraps its own local
+  // Graph; here we simulate the partition. ---
+  Rng split_rng(12);
+  FederatedDataset fed =
+      StructureNonIidSplit(g, /*num_clients=*/4, InjectionMode::kRandom,
+                           0.5, split_rng);
+  FedConfig cfg;
+  cfg.rounds = 15;
+  cfg.model = "GPRGNN";
+  cfg.hidden = 32;
+  cfg.seed = 13;
+  FedRunResult fed_result = RunFedAvg(fed, cfg);
+  std::printf("federated GPR-GNN (4 clients): %.1f%%\n",
+              100.0 * fed_result.final_test_acc);
+
+  FedRunResult ada = RunAlgorithm("AdaFGL", fed, cfg);
+  std::printf("AdaFGL on the same federation: %.1f%%\n",
+              100.0 * ada.final_test_acc);
+  return 0;
+}

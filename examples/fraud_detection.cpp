@@ -1,0 +1,71 @@
+/// Fraud detection across banks — the heterophilous scenario from the
+/// paper's introduction: "fraudsters are more likely to build connections
+/// with customers", so the transaction graph is heterophilous, and each
+/// bank's local engineering yields a different topology regime.
+///
+/// Builds a heterophilous transaction network (2 classes: customer /
+/// fraudster), carves it into 6 "banks" with structure Non-iid split, and
+/// compares a plain federated GCN (homophily assumption) against a
+/// federated GloGNN (heterophily-aware) and AdaFGL (adaptive).
+///
+///   ./build/examples/fraud_detection
+#include <cstdio>
+
+#include "core/adafgl.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "fed/splits.h"
+#include "graph/metrics.h"
+
+int main() {
+  using namespace adafgl;
+
+  // A transaction network: 3000 accounts, 6% of edges connect accounts of
+  // the same type (fraudsters attach to customers, not to each other).
+  SbmParams params;
+  params.num_nodes = 3000;
+  params.num_classes = 2;
+  params.num_edges = 12000;
+  params.edge_homophily = 0.06;
+  params.class_skew = 1.2;  // Far fewer fraudsters than customers.
+  params.feature_dim = 32;
+  params.feature_signal = 0.25;
+  params.feature_subclusters = 3;
+  params.subcluster_spread = 0.3;
+  params.train_frac = 0.4;
+  params.val_frac = 0.2;
+  Rng rng(17);
+  Graph transactions = GenerateSbmGraph(params, rng);
+  std::printf("transaction network: %d accounts, %lld edges, "
+              "edge homophily %.3f (fraud attaches to customers)\n",
+              transactions.num_nodes(),
+              static_cast<long long>(transactions.num_edges()),
+              EdgeHomophily(transactions.adj, transactions.labels));
+
+  // Six banks; each bank's data pipeline injects its own structural bias.
+  Rng split_rng(3);
+  FederatedDataset banks = StructureNonIidSplit(
+      transactions, 6, InjectionMode::kRandom, 0.5, split_rng);
+
+  FedConfig config;
+  config.rounds = 20;
+  config.local_epochs = 3;
+  config.seed = 9;
+
+  std::printf("\n%-22s %s\n", "method", "fraud-detection accuracy");
+  for (const char* method : {"FedGCN", "FedGloGNN", "AdaFGL"}) {
+    FedRunResult r = RunAlgorithm(method, banks, config);
+    std::printf("%-22s %.1f%%\n", method, 100.0 * r.final_test_acc);
+  }
+
+  std::printf("\nAdaFGL per-bank adaptation (HCS ~ how homophilous each "
+              "bank's graph is):\n");
+  AdaFglResult ada = RunAdaFgl(banks, config, AdaFglOptions());
+  for (size_t b = 0; b < ada.client_hcs.size(); ++b) {
+    std::printf("  bank %zu: HCS %.2f -> %.0f%% weight on the "
+                "heterophilous propagation branch, acc %.1f%%\n",
+                b, ada.client_hcs[b], 100.0 * (1.0 - ada.client_hcs[b]),
+                100.0 * ada.client_test_acc[b]);
+  }
+  return 0;
+}

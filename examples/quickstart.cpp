@@ -1,0 +1,68 @@
+/// Quickstart: the 30-second tour of the AdaFGL library.
+///
+/// Generates the Cora stand-in dataset, simulates a 10-client federation
+/// with the paper's structure Non-iid split, runs the full AdaFGL paradigm
+/// (Step 1 federated knowledge extractor + Step 2 adaptive personalized
+/// propagation) and prints what it learned.
+///
+///   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/adafgl.h"
+#include "data/registry.h"
+#include "fed/splits.h"
+#include "graph/metrics.h"
+
+int main() {
+  using namespace adafgl;
+
+  // 1. A graph. Real deployments load their own (see custom_dataset.cpp);
+  //    here we generate the synthetic Cora stand-in from the registry.
+  Rng rng(42);
+  Graph cora = GenerateDatasetByName("Cora", rng);
+  std::printf("Cora stand-in: %d nodes, %lld edges, edge homophily %.3f\n",
+              cora.num_nodes(), static_cast<long long>(cora.num_edges()),
+              EdgeHomophily(cora.adj, cora.labels));
+
+  // 2. A federation. structure Non-iid split = Metis-like partition +
+  //    per-client homophilous/heterophilous edge injection (Definition 1).
+  Rng split_rng(7);
+  FederatedDataset federation = StructureNonIidSplit(
+      cora, /*num_clients=*/10, InjectionMode::kRandom,
+      /*ratio=*/0.5, split_rng);
+  std::printf("\n%d clients with injected topology variance:\n",
+              federation.num_clients());
+  for (int32_t c = 0; c < federation.num_clients(); ++c) {
+    std::printf("  client %d: %4d nodes, node homophily %.2f (%s)\n", c,
+                federation.clients[static_cast<size_t>(c)].num_nodes(),
+                NodeHomophily(federation.clients[static_cast<size_t>(c)].adj,
+                              federation.clients[static_cast<size_t>(c)]
+                                  .labels),
+                federation.injections[static_cast<size_t>(c)] ==
+                        InjectionType::kHomophilous
+                    ? "homophilous injection"
+                    : "heterophilous injection");
+  }
+
+  // 3. AdaFGL. Step 1 trains a federated GCN knowledge extractor with
+  //    FedAvg; Step 2 personalizes each client with homophilous +
+  //    heterophilous propagation combined by the HCS.
+  FedConfig config;
+  config.rounds = 20;
+  config.local_epochs = 3;
+  config.seed = 1;
+  AdaFglResult result = RunAdaFgl(federation, config, AdaFglOptions());
+
+  std::printf("\nAdaFGL finished: test accuracy %.1f%%\n",
+              100.0 * result.final_test_acc);
+  std::printf("per-client accuracy / homophily-confidence score:\n");
+  for (size_t c = 0; c < result.client_test_acc.size(); ++c) {
+    std::printf("  client %zu: acc %.1f%%  HCS %.2f\n", c,
+                100.0 * result.client_test_acc[c], result.client_hcs[c]);
+  }
+  std::printf("\ncommunication: %.2f MiB up, %.2f MiB down "
+              "(Step 2 is fully local)\n",
+              result.bytes_up / (1024.0 * 1024.0),
+              result.bytes_down / (1024.0 * 1024.0));
+  return 0;
+}

@@ -1,0 +1,437 @@
+#include "core/adafgl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/propagation_matrix.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Per-client Step-2 state: the personalized propagation modules.
+class PersonalizedClient {
+ public:
+  PersonalizedClient(const Graph& g, const FedConfig& config,
+                     const AdaFglOptions& options,
+                     const std::vector<Matrix>& extractor_weights,
+                     uint64_t seed)
+      : graph_(&g), options_(options), rng_(seed) {
+    ctx_ = GraphContext::Create(g);
+
+    // --- Federated knowledge extractor predictions P_hat. ---
+    ModelConfig mc;
+    mc.in_dim = g.feature_dim();
+    mc.num_classes = g.num_classes;
+    mc.hidden = config.hidden;
+    mc.dropout = config.dropout;
+    Rng extractor_rng = rng_.Fork(0);
+    std::unique_ptr<Model> extractor =
+        CreateModel(config.model, mc, extractor_rng);
+    SetWeights(*extractor, extractor_weights);
+    // Local correction of the broadcast extractor (Sec. IV-A applies the
+    // same correction to every federated GNN; AdaFGL's Step 2 consumes the
+    // locally-corrected predictions).
+    if (config.post_local_epochs > 0 && !g.train_nodes.empty()) {
+      Adam extractor_opt(extractor->Params(), config.lr,
+                         config.weight_decay);
+      Rng train_rng = rng_.Fork(4);
+      for (int e = 0; e < config.post_local_epochs; ++e) {
+        extractor_opt.ZeroGrad();
+        Tensor logits = extractor->Forward(ctx_, /*training=*/true,
+                                           train_rng);
+        Tensor loss = ops::CrossEntropyWithLogits(logits, g.labels,
+                                                  g.train_nodes);
+        Backward(loss);
+        extractor_opt.Step();
+      }
+    }
+    Rng fwd_rng = rng_.Fork(1);
+    extractor_probs_ =
+        Softmax(extractor->Forward(ctx_, /*training=*/false, fwd_rng)
+                    ->value());
+    // Training labels are locally known: pin their probability rows to the
+    // ground truth so the optimised topology (Eq. 5) and the knowledge
+    // target (Eq. 8) are exact wherever supervision exists.
+    for (int32_t v : g.train_nodes) {
+      float* row = extractor_probs_.row(v);
+      std::fill(row, row + extractor_probs_.cols(), 0.0f);
+      row[g.labels[static_cast<size_t>(v)]] = 1.0f;
+    }
+
+    // --- HCS (Def. 2), averaged over several mask draws. ---
+    if (options_.use_hcs) {
+      Rng hcs_rng = rng_.Fork(2);
+      double acc = 0.0;
+      const int repeats = std::max(1, options_.hcs_repeats);
+      for (int r = 0; r < repeats; ++r) {
+        acc += HomophilyConfidenceScore(g, options_.hcs_mask_prob, hcs_rng,
+                                        options_.lp);
+      }
+      hcs_ = acc / repeats;
+    } else {
+      hcs_ = 0.5;
+    }
+
+    // --- Optimised propagation matrix P̃ (Eq. 5-6) — or the plain
+    // normalised adjacency under the w/o L.T. ablation. ---
+    const float alpha =
+        options_.adaptive_coefficients
+            ? std::clamp(static_cast<float>(hcs_), 0.1f, 0.9f)
+            : options_.alpha;
+    beta_ = options_.adaptive_coefficients
+                ? std::clamp(static_cast<float>(hcs_), 0.1f, 0.9f)
+                : options_.beta;
+    if (options_.use_local_topology) {
+      prop_matrix_ = BuildPropagationMatrix(g, extractor_probs_, alpha);
+    } else {
+      prop_matrix_ = GcnNormalized(g.adj).ToDense();
+    }
+
+    // --- Topology-aware label distribution (Alg. 2 line 2), cross-fitted.
+    // Two LPs are run from complementary halves of the train set; every
+    // train node reads the posterior of the LP that did NOT see its label,
+    // so the channels carry honest (leakage-free) LP quality and the
+    // MessageUpdater can weight them per client. ---
+    Matrix lp_posterior(g.num_nodes(), g.num_classes);
+    {
+      Rng lp_rng = rng_.Fork(5);
+      std::vector<int32_t> half_a, half_b;
+      for (int32_t v : g.train_nodes) {
+        (lp_rng.Bernoulli(0.5) ? half_a : half_b).push_back(v);
+      }
+      const Matrix lp_a = LabelPropagation(g, half_a, options_.lp);
+      const Matrix lp_b = LabelPropagation(g, half_b, options_.lp);
+      std::vector<uint8_t> in_a(static_cast<size_t>(g.num_nodes()), 0);
+      std::vector<uint8_t> in_b(static_cast<size_t>(g.num_nodes()), 0);
+      for (int32_t v : half_a) in_a[static_cast<size_t>(v)] = 1;
+      for (int32_t v : half_b) in_b[static_cast<size_t>(v)] = 1;
+      for (int32_t v = 0; v < g.num_nodes(); ++v) {
+        const Matrix& src = in_a[static_cast<size_t>(v)]
+                                ? lp_b
+                                : (in_b[static_cast<size_t>(v)]
+                                       ? lp_a
+                                       : lp_a);  // Placeholder; fixed below.
+        float* dst = lp_posterior.row(v);
+        if (!in_a[static_cast<size_t>(v)] && !in_b[static_cast<size_t>(v)]) {
+          for (int32_t j = 0; j < g.num_classes; ++j) {
+            dst[j] = 0.5f * (lp_a(v, j) + lp_b(v, j));
+          }
+        } else {
+          for (int32_t j = 0; j < g.num_classes; ++j) dst[j] = src(v, j);
+        }
+      }
+    }
+
+    // --- Knowledge smoothing inputs (Eq. 7): X̃^(k) = P̃^k [X || Y_lp]. ---
+    std::vector<Matrix> smoothed;
+    Matrix cur = ConcatCols(g.features, lp_posterior);
+    for (int k = 0; k < options_.smoothing_steps; ++k) {
+      cur = MatMul(prop_matrix_, cur);
+      smoothed.push_back(cur);
+    }
+    smoothed_concat_ = MakeConst(ConcatColsAll(smoothed));
+
+    // The heterophilous branch additionally sees even-hop (Â²) smoothed
+    // features: on heterophilous (bipartite-like) topology two-hop
+    // neighbourhoods are homophilous, the high-order signal Sec. III-C2
+    // motivates via [58], [69], [70] (EvenNet et al.).
+    const CsrMatrix norm = GcnNormalized(g.adj);
+    const Matrix base = ConcatCols(g.features, lp_posterior);
+    Matrix two_hop = norm.Multiply(norm.Multiply(base));
+    smoothed.push_back(std::move(two_hop));
+    smoothed_concat_he_ = MakeConst(ConcatColsAll(smoothed));
+
+    // --- Trainable modules. The knowledge MLP exists twice: the
+    // homophilous branch's copy is anchored by the knowledge-preserving
+    // loss (Eq. 8), while the heterophilous branch re-learns its own
+    // global-dependent embedding WITHOUT knowledge preserving, exactly as
+    // Sec. III-C2 prescribes ("we omit the Knowledge Preserving step"). ---
+    Rng init = rng_.Fork(3);
+    const int64_t hidden = config.hidden;
+    knowledge_mlp_ = std::make_unique<Mlp>(
+        std::vector<int64_t>{smoothed_concat_->cols(), hidden,
+                             static_cast<int64_t>(g.num_classes)},
+        config.dropout, init);
+    knowledge_mlp_he_ = std::make_unique<Mlp>(
+        std::vector<int64_t>{smoothed_concat_he_->cols(), hidden,
+                             static_cast<int64_t>(g.num_classes)},
+        config.dropout, init);
+    if (options_.use_topology_independent) {
+      feature_mlp_ = std::make_unique<Mlp>(
+          std::vector<int64_t>{g.feature_dim(), hidden,
+                               static_cast<int64_t>(g.num_classes)},
+          config.dropout, init);
+    }
+    if (options_.use_learnable_message) {
+      for (int l = 0; l < options_.message_layers; ++l) {
+        message_layers_.push_back(std::make_unique<Linear>(
+            g.num_classes, g.num_classes, init));
+        // Label-wise neighbour-message weights (LW-GCN-style [54]): a
+        // linear map over the aggregated neighbour class distribution
+        // learns per-class-pair positive/negative message strengths — the
+        // signal structured heterophily carries.
+        neighbor_layers_.push_back(std::make_unique<Linear>(
+            g.num_classes, g.num_classes, init));
+      }
+    }
+    std::vector<Tensor> params = knowledge_mlp_->Params();
+    for (const Tensor& p : knowledge_mlp_he_->Params()) params.push_back(p);
+    if (feature_mlp_ != nullptr) {
+      for (const Tensor& p : feature_mlp_->Params()) params.push_back(p);
+    }
+    for (const auto& l : message_layers_) {
+      for (const Tensor& p : l->Params()) params.push_back(p);
+    }
+    for (const auto& l : neighbor_layers_) {
+      for (const Tensor& p : l->Params()) params.push_back(p);
+    }
+    optimizer_ = std::make_unique<Adam>(std::move(params),
+                                        options_.personalized_lr,
+                                        config.weight_decay);
+  }
+
+  double hcs() const { return hcs_; }
+  const Graph& graph() const { return *graph_; }
+
+  /// All prediction heads of one forward pass (probability tensors except
+  /// the raw logits kept for the per-module CE terms).
+  struct Heads {
+    Tensor h_tilde_logits;     // Homophilous-branch H̃ (anchored by K.P.).
+    Tensor h_tilde_he_logits;  // Heterophilous-branch H̃ (no K.P.).
+    Tensor h_f_logits;         // Null when T.F. disabled.
+    Tensor h_m_logits;         // Null when L.M. disabled.
+    Tensor y_ho;
+    Tensor y_he;
+    Tensor combined;
+  };
+
+  Heads BuildHeads(bool training) {
+    Heads heads;
+    // Homophilous-branch knowledge embeddings H̃ (Eq. 7).
+    heads.h_tilde_logits =
+        knowledge_mlp_->Forward(smoothed_concat_, training, rng_);
+    Tensor h_tilde_probs = ops::Softmax(heads.h_tilde_logits);
+    last_h_tilde_probs_ = h_tilde_probs;
+
+    // Homophilous branch (Eq. 9): (softmax(H̃) + P_hat) / 2.
+    heads.y_ho = ops::Scale(
+        ops::AddConst(h_tilde_probs, extractor_probs_), 0.5f);
+
+    // Heterophilous branch (Eq. 10-13): its own global-dependent H̃,
+    // learned free of the knowledge-preserving anchor.
+    heads.h_tilde_he_logits =
+        knowledge_mlp_he_->Forward(smoothed_concat_he_, training, rng_);
+    std::vector<Tensor> he_parts = {ops::Softmax(heads.h_tilde_he_logits)};
+    if (feature_mlp_ != nullptr) {
+      heads.h_f_logits = feature_mlp_->Forward(ctx_.x, training, rng_);
+      he_parts.push_back(ops::Softmax(heads.h_f_logits));
+    }
+    if (!message_layers_.empty()) {
+      heads.h_m_logits = MessagePassing(heads.h_tilde_he_logits);
+      he_parts.push_back(ops::Softmax(heads.h_m_logits));
+    }
+    heads.y_he = ops::MeanOf(he_parts);
+
+    const auto w = static_cast<float>(hcs_);
+    heads.combined =
+        ops::Add(ops::Scale(heads.y_ho, w), ops::Scale(heads.y_he, 1.0f - w));
+    return heads;
+  }
+
+  /// Builds the combined prediction Ŷ (Eq. 17) as a probability tensor.
+  Tensor Predict(bool training) { return BuildHeads(training).combined; }
+
+  /// Per-head test accuracies for diagnostics.
+  AdaFglHeadDiagnostics Diagnostics() {
+    AdaFglHeadDiagnostics d;
+    if (graph_->test_nodes.empty()) return d;
+    Heads heads = BuildHeads(/*training=*/false);
+    const std::vector<int32_t>& test = graph_->test_nodes;
+    const std::vector<int32_t>& labels = graph_->labels;
+    d.extractor = Accuracy(extractor_probs_, labels, test);
+    d.h_tilde = Accuracy(heads.h_tilde_logits->value(), labels, test);
+    if (heads.h_f_logits != nullptr) {
+      d.h_feature = Accuracy(heads.h_f_logits->value(), labels, test);
+    }
+    if (heads.h_m_logits != nullptr) {
+      d.h_message = Accuracy(heads.h_m_logits->value(), labels, test);
+    }
+    d.y_ho = Accuracy(heads.y_ho->value(), labels, test);
+    d.y_he = Accuracy(heads.y_he->value(), labels, test);
+    d.combined = Accuracy(heads.combined->value(), labels, test);
+    return d;
+  }
+
+  /// One personalized epoch (loss Eq. 14); returns the loss value.
+  /// The CE term applies to the combined prediction and, with a smaller
+  /// weight, to every module's own softmax output — each propagation module
+  /// is trained end-to-end as Alg. 2 prescribes.
+  double TrainEpoch() {
+    if (graph_->train_nodes.empty()) return 0.0;
+    optimizer_->ZeroGrad();
+    Heads heads = BuildHeads(/*training=*/true);
+    Tensor y = heads.combined;
+    Tensor loss = ops::ProbNllLoss(y, graph_->labels, graph_->train_nodes);
+    std::vector<Tensor> head_logits = {heads.h_tilde_logits,
+                                       heads.h_tilde_he_logits};
+    if (heads.h_f_logits != nullptr) head_logits.push_back(heads.h_f_logits);
+    if (heads.h_m_logits != nullptr) head_logits.push_back(heads.h_m_logits);
+    for (const Tensor& h : head_logits) {
+      loss = ops::Add(
+          loss, ops::Scale(ops::CrossEntropyWithLogits(
+                               h, graph_->labels, graph_->train_nodes),
+                           0.5f));
+    }
+    if (options_.use_knowledge_preserving) {
+      // Knowledge preserving (Eq. 8), weighted by the extractor's local
+      // reliability (the HCS).
+      Tensor l_know =
+          ops::FrobeniusLoss(last_h_tilde_probs_, extractor_probs_);
+      loss = ops::Add(loss, ops::Scale(l_know, static_cast<float>(hcs_)));
+    }
+    Backward(loss);
+    optimizer_->Step();
+    return loss->value()(0, 0);
+  }
+
+  double EvalTest() {
+    if (graph_->test_nodes.empty()) return 0.0;
+    Tensor y = Predict(/*training=*/false);
+    return Accuracy(y->value(), graph_->labels, graph_->test_nodes);
+  }
+
+ private:
+  /// Learnable message-passing embedding (Eq. 11-12). PoSign/NeSign are
+  /// ReLUs centered on the mean propagation weight, so affinities above the
+  /// baseline act as positive messages and below as negative.
+  Tensor MessagePassing(const Tensor& h_tilde) {
+    const int64_t n = graph_->num_nodes();
+    Tensor h_m = h_tilde;
+    Tensor p = MakeConst(prop_matrix_);
+    const float beta = beta_;
+    for (size_t l = 0; l < message_layers_.size(); ++l) {
+      const auto& layer = message_layers_[l];
+      h_m = layer->Forward(h_m);
+      // Label-wise neighbour messages: aggregate the one-hop class
+      // distribution and learn signed per-class-pair weights.
+      Tensor neighbor_dist = ops::SpMM(ctx_.norm_adj, ops::Softmax(h_m));
+      Tensor lw = neighbor_layers_[l]->Forward(neighbor_dist);
+      // P̃^(l) = beta P̃^(l-1) + (1-beta) softmax(H_m) softmax(H_m)^T.
+      Tensor probs = ops::Softmax(h_m);
+      Tensor gram = ops::MatMulTransB(probs, probs);
+      p = ops::Add(ops::Scale(p, beta), ops::Scale(gram, 1.0f - beta));
+      // Center at the mean entry so both signs carry mass.
+      const float mean = SumAll(p->value()) /
+                         static_cast<float>(std::max<int64_t>(1, n * n));
+      Tensor centered = ops::AddConst(
+          p, Matrix::Constant(n, n, -mean));
+      Tensor pos = ops::Relu(centered);
+      Tensor neg = ops::Relu(ops::Scale(centered, -1.0f));
+      Tensor h_pos = ops::Scale(ops::MatMul(pos, h_m),
+                                1.0f / static_cast<float>(n));
+      Tensor h_neg = ops::Scale(ops::MatMul(neg, h_m),
+                                1.0f / static_cast<float>(n));
+      h_m = ops::Add(ops::Add(h_m, lw),
+                     ops::Sub(h_pos, h_neg));  // Eq. 12 + label-wise term.
+    }
+    return h_m;
+  }
+
+  const Graph* graph_;
+  AdaFglOptions options_;
+  Rng rng_;
+  GraphContext ctx_;
+
+  Matrix extractor_probs_;   // P_hat.
+  Matrix prop_matrix_;       // P̃.
+  Tensor smoothed_concat_;     // [X̃^(1) || ... || X̃^(k)].
+  Tensor smoothed_concat_he_;  // Same + even-hop Â² features.
+  double hcs_ = 0.5;
+  float beta_ = 0.7f;        // Effective beta (adaptive or fixed).
+
+  std::unique_ptr<Mlp> knowledge_mlp_;                    // Theta_knowledge.
+  std::unique_ptr<Mlp> knowledge_mlp_he_;                 // Hete-branch copy.
+  std::unique_ptr<Mlp> feature_mlp_;                      // Theta_feature.
+  std::vector<std::unique_ptr<Linear>> message_layers_;   // Theta_message.
+  std::vector<std::unique_ptr<Linear>> neighbor_layers_;  // Label-wise maps.
+  std::unique_ptr<Adam> optimizer_;
+  Tensor last_h_tilde_probs_;
+};
+
+}  // namespace
+
+AdaFglResult RunAdaFgl(const FederatedDataset& data, const FedConfig& config,
+                       const AdaFglOptions& options) {
+  AdaFglResult result;
+
+  // ------------------------- Step 1: federated knowledge extractor.
+  FedConfig step1 = config;
+  step1.post_local_epochs = 0;  // Personalization happens in Step 2.
+  result.step1 = RunFedAvg(data, step1);
+  result.bytes_up = result.step1.bytes_up;
+  result.bytes_down = result.step1.bytes_down;
+
+  // ------------------------- Step 2: adaptive personalized propagation.
+  std::vector<std::unique_ptr<PersonalizedClient>> clients;
+  clients.reserve(data.clients.size());
+  Rng seeder(config.seed ^ 0xadaf9fULL);
+  for (size_t c = 0; c < data.clients.size(); ++c) {
+    clients.push_back(std::make_unique<PersonalizedClient>(
+        data.clients[c], config, options, result.step1.global_weights,
+        seeder.NextU64()));
+    result.client_hcs.push_back(clients.back()->hcs());
+  }
+
+  result.step2_epoch_acc.reserve(
+      static_cast<size_t>(options.personalized_epochs));
+  for (int epoch = 0; epoch < options.personalized_epochs; ++epoch) {
+    for (auto& client : clients) client->TrainEpoch();
+    if ((epoch + 1) % 5 == 0 || epoch + 1 == options.personalized_epochs) {
+      double weighted = 0.0;
+      int64_t total = 0;
+      for (auto& client : clients) {
+        const auto n_test =
+            static_cast<int64_t>(client->graph().test_nodes.size());
+        weighted += client->EvalTest() * static_cast<double>(n_test);
+        total += n_test;
+      }
+      result.step2_epoch_acc.push_back(
+          total == 0 ? 0.0 : weighted / static_cast<double>(total));
+    }
+  }
+
+  double weighted = 0.0;
+  int64_t total = 0;
+  for (auto& client : clients) {
+    const double acc = client->EvalTest();
+    result.client_test_acc.push_back(acc);
+    result.client_heads.push_back(client->Diagnostics());
+    const auto n_test =
+        static_cast<int64_t>(client->graph().test_nodes.size());
+    weighted += acc * static_cast<double>(n_test);
+    total += n_test;
+  }
+  result.final_test_acc =
+      total == 0 ? 0.0 : weighted / static_cast<double>(total);
+  return result;
+}
+
+FedRunResult RunAdaFglAsFed(const FederatedDataset& data,
+                            const FedConfig& config,
+                            const AdaFglOptions& options) {
+  AdaFglResult r = RunAdaFgl(data, config, options);
+  FedRunResult out = std::move(r.step1);
+  out.final_test_acc = r.final_test_acc;
+  out.client_test_acc = std::move(r.client_test_acc);
+  out.bytes_up = r.bytes_up;
+  out.bytes_down = r.bytes_down;
+  return out;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,48 @@
+#include "core/label_propagation.h"
+
+#include <algorithm>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Matrix LabelPropagation(const Graph& g, const std::vector<int32_t>& labeled,
+                        const LabelPropOptions& options) {
+  const int32_t n = g.num_nodes();
+  const int32_t c = g.num_classes;
+  ADAFGL_CHECK(c > 0);
+  Matrix y0 = Matrix::Constant(n, c, 1.0f / static_cast<float>(c));
+  for (int32_t v : labeled) {
+    ADAFGL_CHECK(v >= 0 && v < n);
+    float* row = y0.row(v);
+    std::fill(row, row + c, 0.0f);
+    row[g.labels[static_cast<size_t>(v)]] = 1.0f;
+  }
+  const CsrMatrix op = GcnNormalized(g.adj);
+  Matrix y = y0;
+  for (int k = 0; k < options.steps; ++k) {
+    Matrix prop = op.Multiply(y);
+    y = Add(Scale(y0, options.kappa), Scale(prop, 1.0f - options.kappa));
+  }
+  return y;
+}
+
+double HomophilyConfidenceScore(const Graph& g, double mask_prob, Rng& rng,
+                                const LabelPropOptions& options) {
+  if (g.train_nodes.size() < 4) return 0.5;
+  std::vector<int32_t> kept;
+  std::vector<int32_t> masked;
+  for (int32_t v : g.train_nodes) {
+    if (rng.Bernoulli(mask_prob)) {
+      masked.push_back(v);
+    } else {
+      kept.push_back(v);
+    }
+  }
+  if (masked.empty() || kept.empty()) return 0.5;
+  const Matrix y = LabelPropagation(g, kept, options);
+  return Accuracy(y, g.labels, masked);
+}
+
+}  // namespace adafgl

@@ -1,0 +1,37 @@
+#ifndef ADAFGL_CORE_LABEL_PROPAGATION_H_
+#define ADAFGL_CORE_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/rng.h"
+
+namespace adafgl {
+
+/// Options for the K-step non-parametric label propagation of Eq. 15.
+struct LabelPropOptions {
+  int steps = 5;        ///< K (paper default 5).
+  float kappa = 0.5f;   ///< Residual weight (paper default 0.5).
+};
+
+/// \brief K-step Non-param LP (Eq. 15):
+///   Y^k = kappa * Y^0 + (1 - kappa) * D^-1/2 A D^-1/2 Y^{k-1}.
+///
+/// `labeled` nodes start as one-hot rows of their label; all other nodes
+/// start uniform 1/|Y|. Returns the final n x num_classes distribution.
+/// Involves no learning — pure sparse matrix iteration.
+Matrix LabelPropagation(const Graph& g, const std::vector<int32_t>& labeled,
+                        const LabelPropOptions& options = {});
+
+/// \brief Homophily Confidence Score (Definition 2, Eq. 16).
+///
+/// Masks `mask_prob` of the training nodes, runs LP seeded by the remaining
+/// training labels, and returns the LP accuracy on the masked nodes — a
+/// label-free estimate of how homophilous the local topology is. Falls back
+/// to 0.5 when the train set is too small to mask.
+double HomophilyConfidenceScore(const Graph& g, double mask_prob, Rng& rng,
+                                const LabelPropOptions& options = {});
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_CORE_LABEL_PROPAGATION_H_

@@ -1,0 +1,46 @@
+#include "core/propagation_matrix.h"
+
+#include <cmath>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Matrix ScalePropagationMatrix(const Matrix& p) {
+  ADAFGL_CHECK(p.rows() == p.cols());
+  const int64_t n = p.rows();
+  Matrix out = p;
+  for (int64_t i = 0; i < n; ++i) out(i, i) = 0.0f;
+  // Symmetric degree normalisation (identity-distance scaling).
+  std::vector<float> inv_sqrt_deg(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    const float* row = out.row(i);
+    for (int64_t j = 0; j < n; ++j) deg += std::max(row[j], 0.0f);
+    inv_sqrt_deg[static_cast<size_t>(i)] =
+        deg > 1e-12 ? static_cast<float>(1.0 / std::sqrt(deg)) : 0.0f;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.row(i);
+    const float di = inv_sqrt_deg[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::max(row[j], 0.0f) * di *
+               inv_sqrt_deg[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Matrix BuildPropagationMatrix(const Graph& g, const Matrix& probs,
+                              float alpha) {
+  ADAFGL_CHECK(probs.rows() == g.num_nodes());
+  ADAFGL_CHECK(alpha >= 0.0f && alpha <= 1.0f);
+  const Matrix adj_dense = GcnNormalized(g.adj).ToDense();
+  // P_hat P_hat^T: probability that two nodes share a class.
+  Matrix affinity = MatMulTransB(probs, probs);
+  Matrix p = Add(Scale(adj_dense, alpha), Scale(affinity, 1.0f - alpha));
+  return ScalePropagationMatrix(p);
+}
+
+}  // namespace adafgl

@@ -1,0 +1,30 @@
+#ifndef ADAFGL_CORE_PROPAGATION_MATRIX_H_
+#define ADAFGL_CORE_PROPAGATION_MATRIX_H_
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace adafgl {
+
+/// \brief Builds the federated knowledge-guided probability propagation
+/// matrix of AdaFGL Step 1 (Eq. 5 + Eq. 6).
+///
+///   P  = alpha * Â + (1 - alpha) * P_hat P_hat^T
+///   P̃  = D^-1/2 (P - diag(P)) D^-1/2
+///
+/// where `probs` (n x |Y|) are the federated knowledge extractor's softmax
+/// predictions P_hat, Â is the GCN-normalised local adjacency, and the
+/// Eq. 6 scaling uses the paper's identity-distance degree normalisation:
+/// the diagonal is removed and the remaining mass symmetrically normalised.
+/// Returned dense (clients are small after a k-way split).
+Matrix BuildPropagationMatrix(const Graph& g, const Matrix& probs,
+                              float alpha);
+
+/// Eq. 6 in isolation (exposed for tests): removes the diagonal of `p` and
+/// symmetrically degree-normalises the result. Rows whose off-diagonal mass
+/// is zero are left zero.
+Matrix ScalePropagationMatrix(const Matrix& p);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_CORE_PROPAGATION_MATRIX_H_

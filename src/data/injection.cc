@@ -1,0 +1,148 @@
+#include "data/injection.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Collects the current undirected edges and a fast lookup set.
+std::set<std::pair<int32_t, int32_t>> EdgeSet(const Graph& g) {
+  std::set<std::pair<int32_t, int32_t>> s;
+  for (const auto& e : UndirectedEdges(g.adj)) s.insert(e);
+  return s;
+}
+
+Graph RebuildWithEdges(const Graph& g,
+                       std::vector<std::pair<int32_t, int32_t>> edges) {
+  Graph out;
+  out.adj = CsrFromUndirectedEdges(g.num_nodes(), edges);
+  out.features = g.features;
+  out.labels = g.labels;
+  out.num_classes = g.num_classes;
+  out.train_nodes = g.train_nodes;
+  out.val_nodes = g.val_nodes;
+  out.test_nodes = g.test_nodes;
+  return out;
+}
+
+}  // namespace
+
+Graph RandomInjection(const Graph& g, InjectionType type, double ratio,
+                      Rng& rng) {
+  ADAFGL_CHECK(ratio >= 0.0);
+  const int32_t n = g.num_nodes();
+  auto edge_set = EdgeSet(g);
+  std::vector<std::pair<int32_t, int32_t>> edges(edge_set.begin(),
+                                                 edge_set.end());
+  const int64_t to_add =
+      static_cast<int64_t>(static_cast<double>(edges.size()) * ratio);
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = std::max<int64_t>(1000, to_add * 200);
+  while (added < to_add && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<int32_t>(rng.UniformInt(n));
+    const auto v = static_cast<int32_t>(rng.UniformInt(n));
+    if (u == v) continue;
+    const bool same =
+        g.labels[static_cast<size_t>(u)] == g.labels[static_cast<size_t>(v)];
+    if (type == InjectionType::kHomophilous && !same) continue;
+    if (type == InjectionType::kHeterophilous && same) continue;
+    const auto key = std::minmax(u, v);
+    if (!edge_set.insert({key.first, key.second}).second) continue;
+    edges.emplace_back(key.first, key.second);
+    ++added;
+  }
+  return RebuildWithEdges(g, std::move(edges));
+}
+
+Graph MetaInjection(const Graph& g, double budget_ratio, Rng& rng) {
+  ADAFGL_CHECK(budget_ratio >= 0.0);
+  const int32_t n = g.num_nodes();
+  auto edge_set = EdgeSet(g);
+  std::vector<std::pair<int32_t, int32_t>> edges(edge_set.begin(),
+                                                 edge_set.end());
+  const int64_t budget =
+      static_cast<int64_t>(static_cast<double>(edges.size()) * budget_ratio);
+  if (budget == 0 || g.train_nodes.empty()) {
+    return RebuildWithEdges(g, std::move(edges));
+  }
+
+  // --- Fit the linear SGC surrogate: logits = Â^2 X W. ---
+  auto norm_adj = std::make_shared<CsrMatrix>(GcnNormalized(g.adj));
+  Matrix x2 = norm_adj->Multiply(norm_adj->Multiply(g.features));
+  Tensor x2t = MakeConst(x2);
+  Rng init_rng = rng.Fork(1);
+  Tensor w = MakeParam(
+      Matrix::Glorot(g.features.cols(), g.num_classes, init_rng));
+  Adam opt({w}, /*lr=*/0.05f, /*weight_decay=*/5e-4f);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    opt.ZeroGrad();
+    Tensor logits = ops::MatMul(x2t, w);
+    Tensor loss =
+        ops::CrossEntropyWithLogits(logits, g.labels, g.train_nodes);
+    Backward(loss);
+    opt.Step();
+  }
+  const Matrix probs = Softmax(MatMul(x2, w->value()));
+
+  // --- Score candidate cross-label pairs. ---
+  struct Candidate {
+    float score;
+    int32_t u;
+    int32_t v;
+  };
+  std::vector<Candidate> candidates;
+  const int64_t pool = budget * 30;
+  std::set<std::pair<int32_t, int32_t>> seen;
+  for (int64_t i = 0; i < pool * 4 &&
+                      static_cast<int64_t>(candidates.size()) < pool; ++i) {
+    const auto u = static_cast<int32_t>(rng.UniformInt(n));
+    const auto v = static_cast<int32_t>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (g.labels[static_cast<size_t>(u)] ==
+        g.labels[static_cast<size_t>(v)]) {
+      continue;
+    }
+    const auto key = std::minmax(u, v);
+    if (edge_set.count({key.first, key.second})) continue;
+    if (!seen.insert({key.first, key.second}).second) continue;
+    // First-order damage proxy, following Metattack's empirically observed
+    // strategy: attach a *vulnerable* victim (low degree, low surrogate
+    // confidence in its true class) to a *confident* attacker of a
+    // different class, so the injected message flips the victim.
+    auto pair_score = [&](int32_t victim, int32_t attacker) {
+      const float vulnerability =
+          1.0f - probs(victim, g.labels[static_cast<size_t>(victim)]);
+      const float attacker_conf =
+          probs(attacker, g.labels[static_cast<size_t>(attacker)]);
+      const float inv_deg =
+          1.0f / (1.0f + static_cast<float>(g.adj.RowNnz(victim)));
+      return vulnerability * attacker_conf * inv_deg;
+    };
+    const float score = std::max(pair_score(u, v), pair_score(v, u));
+    candidates.push_back({score, key.first, key.second});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  const int64_t take =
+      std::min<int64_t>(budget, static_cast<int64_t>(candidates.size()));
+  for (int64_t i = 0; i < take; ++i) {
+    edges.emplace_back(candidates[static_cast<size_t>(i)].u,
+                       candidates[static_cast<size_t>(i)].v);
+  }
+  return RebuildWithEdges(g, std::move(edges));
+}
+
+}  // namespace adafgl

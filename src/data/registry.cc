@@ -1,0 +1,96 @@
+#include "data/registry.h"
+
+namespace adafgl {
+
+namespace {
+
+SbmParams Gen(int32_t nodes, int32_t classes, double avg_degree,
+              double homophily, int32_t feature_dim, double signal,
+              double train, double val, double style_spread = 0.3) {
+  SbmParams p;
+  p.num_nodes = nodes;
+  p.num_classes = classes;
+  p.num_edges = static_cast<int64_t>(nodes * avg_degree / 2.0);
+  p.edge_homophily = homophily;
+  p.feature_dim = feature_dim;
+  p.feature_signal = signal;
+  p.feature_noise = 1.0;
+  p.train_frac = train;
+  p.val_frac = val;
+  p.test_frac = 1.0 - train - val;
+  p.feature_subclusters = 3;
+  p.subcluster_spread = style_spread;
+  return p;
+}
+
+std::vector<DatasetSpec> BuildRegistry() {
+  std::vector<DatasetSpec> r;
+  // name, paper n, paper f, paper m, classes, E.Homo, split, inductive, desc,
+  // generator params (gen nodes / classes / avg degree / homophily / f /
+  // signal / train / val). Homophilous datasets use the 20/40/40 split,
+  // heterophilous 60/20/20, inductive roughly 50/25/25 (Table I).
+  r.push_back({"Cora", 2708, 1433, 5429, 7, 0.810, "20/40/40", false,
+               "citation network",
+               Gen(2708, 7, 4.0, 0.810, 128, 0.10, 0.2, 0.4)});
+  r.push_back({"CiteSeer", 3327, 3703, 4732, 6, 0.736, "20/40/40", false,
+               "citation network",
+               Gen(3327, 6, 2.9, 0.736, 128, 0.13, 0.2, 0.4)});
+  r.push_back({"PubMed", 19717, 500, 44338, 3, 0.802, "20/40/40", false,
+               "citation network",
+               Gen(3000, 3, 4.5, 0.802, 96, 0.16, 0.2, 0.4)});
+  r.push_back({"Computer", 13381, 767, 245778, 10, 0.777, "20/40/40", false,
+               "co-purchase network",
+               Gen(3000, 10, 5.0, 0.777, 96, 0.08, 0.2, 0.4)});
+  r.push_back({"Physics", 34493, 8415, 247962, 5, 0.931, "20/40/40", false,
+               "co-authorship network",
+               Gen(3000, 5, 5.0, 0.931, 160, 0.08, 0.2, 0.4)});
+  r.push_back({"Chameleon", 2277, 2325, 36101, 5, 0.234, "60/20/20", false,
+               "wiki pages network",
+               Gen(2277, 5, 16.0, 0.234, 96, 0.27, 0.6, 0.2)});
+  r.push_back({"Squirrel", 5201, 2089, 216933, 5, 0.223, "60/20/20", false,
+               "wiki pages network",
+               Gen(2500, 5, 20.0, 0.223, 96, 0.12, 0.6, 0.2)});
+  r.push_back({"Actor", 7600, 931, 29926, 5, 0.216, "60/20/20", false,
+               "movie network",
+               Gen(2500, 5, 8.0, 0.216, 64, 0.07, 0.6, 0.2)});
+  r.push_back({"Penn94", 41554, 5, 1362229, 2, 0.470, "60/20/20", false,
+               "dating network",
+               Gen(3000, 2, 20.0, 0.470, 5, 0.60, 0.6, 0.2)});
+  r.push_back({"arxiv-year", 169343, 128, 1166243, 5, 0.222, "60/20/20",
+               false, "publish network",
+               Gen(3500, 5, 12.0, 0.222, 64, 0.17, 0.6, 0.2)});
+  r.push_back({"Reddit", 89250, 500, 899756, 7, 0.756, "44k/22k/22k", true,
+               "social network",
+               Gen(3000, 7, 5.0, 0.756, 96, 0.60, 0.5, 0.25)});
+  r.push_back({"Flickr", 232965, 602, 11606919, 41, 0.319, "155k/23k/54k",
+               true, "image network",
+               Gen(3000, 41, 10.0, 0.319, 96, 0.25, 0.5, 0.25)});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& DatasetRegistry() {
+  static const std::vector<DatasetSpec>& registry =
+      *new std::vector<DatasetSpec>(BuildRegistry());
+  return registry;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no dataset named '" + name + "'");
+}
+
+Graph GenerateDataset(const DatasetSpec& spec, Rng& rng) {
+  return GenerateSbmGraph(spec.gen, rng);
+}
+
+Graph GenerateDatasetByName(const std::string& name, Rng& rng) {
+  Result<DatasetSpec> spec = FindDataset(name);
+  ADAFGL_CHECK(spec.ok());
+  return GenerateDataset(spec.value(), rng);
+}
+
+}  // namespace adafgl

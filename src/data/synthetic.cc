@@ -1,0 +1,284 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Alias-free weighted sampler over a fixed weight vector (linear scan over
+/// a cumulative array with binary search).
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      acc += std::max(w, 0.0);
+      cumulative_.push_back(acc);
+    }
+    total_ = acc;
+  }
+
+  bool empty() const { return total_ <= 0.0; }
+
+  int32_t Sample(Rng& rng) const {
+    ADAFGL_CHECK(!empty());
+    const double u = rng.Uniform() * total_;
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int32_t>(
+        std::min<size_t>(static_cast<size_t>(it - cumulative_.begin()),
+                         cumulative_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+Matrix GenerateClassFeatures(const std::vector<int32_t>& labels,
+                             int32_t num_classes, int32_t feature_dim,
+                             double signal, double noise, Rng& rng,
+                             int32_t subclusters, double subcluster_spread) {
+  ADAFGL_CHECK(subclusters >= 1);
+  Matrix means(num_classes, feature_dim);
+  for (int64_t i = 0; i < means.size(); ++i) {
+    means.data()[i] = static_cast<float>(rng.Normal() * signal);
+  }
+  // Class-independent "style" offsets shared by all classes (zero when
+  // spread is 0). Because every class draws from the same pool, the offset
+  // carries no label information — it is structured nuisance variance that
+  // neighbourhood averaging removes but a few-shot feature learner cannot.
+  Matrix sub_means(subclusters, feature_dim);
+  if (subcluster_spread > 0.0) {
+    for (int64_t i = 0; i < sub_means.size(); ++i) {
+      sub_means.data()[i] =
+          static_cast<float>(rng.Normal() * subcluster_spread);
+    }
+  }
+  Matrix x(static_cast<int64_t>(labels.size()), feature_dim);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const float* mu = means.row(labels[i]);
+    const float* mu_sub = sub_means.row(rng.UniformInt(subclusters));
+    float* xi = x.row(static_cast<int64_t>(i));
+    for (int32_t j = 0; j < feature_dim; ++j) {
+      xi[j] = mu[j] + mu_sub[j] + static_cast<float>(rng.Normal() * noise);
+    }
+  }
+  return x;
+}
+
+void StratifiedSplit(Graph* g, double train_frac, double val_frac, Rng& rng) {
+  ADAFGL_CHECK(g != nullptr);
+  ADAFGL_CHECK(train_frac > 0.0 && train_frac + val_frac < 1.0 + 1e-9);
+  g->train_nodes.clear();
+  g->val_nodes.clear();
+  g->test_nodes.clear();
+  std::vector<std::vector<int32_t>> by_class(
+      static_cast<size_t>(g->num_classes));
+  for (int32_t i = 0; i < g->num_nodes(); ++i) {
+    by_class[static_cast<size_t>(g->labels[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  for (auto& nodes : by_class) {
+    for (int64_t i = static_cast<int64_t>(nodes.size()) - 1; i > 0; --i) {
+      std::swap(nodes[static_cast<size_t>(i)],
+                nodes[static_cast<size_t>(rng.UniformInt(i + 1))]);
+    }
+    const auto n = static_cast<int64_t>(nodes.size());
+    const int64_t n_train =
+        std::max<int64_t>(1, static_cast<int64_t>(std::lround(n * train_frac)));
+    const int64_t n_val = static_cast<int64_t>(std::lround(n * val_frac));
+    for (int64_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        g->train_nodes.push_back(nodes[static_cast<size_t>(i)]);
+      } else if (i < n_train + n_val) {
+        g->val_nodes.push_back(nodes[static_cast<size_t>(i)]);
+      } else {
+        g->test_nodes.push_back(nodes[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  std::sort(g->train_nodes.begin(), g->train_nodes.end());
+  std::sort(g->val_nodes.begin(), g->val_nodes.end());
+  std::sort(g->test_nodes.begin(), g->test_nodes.end());
+}
+
+Graph GenerateSbmGraph(const SbmParams& params, Rng& rng) {
+  ADAFGL_CHECK(params.num_nodes > 0);
+  ADAFGL_CHECK(params.num_classes >= 2);
+  ADAFGL_CHECK(params.num_nodes >= params.num_classes * 4);
+  const int32_t n = params.num_nodes;
+  const int32_t c = params.num_classes;
+
+  // --- Labels with mild Zipf skew over class sizes. ---
+  std::vector<double> class_weight(static_cast<size_t>(c));
+  for (int32_t k = 0; k < c; ++k) {
+    class_weight[static_cast<size_t>(k)] =
+        1.0 / std::pow(static_cast<double>(k) + 1.0, params.class_skew);
+  }
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  {
+    // Deterministic proportional allocation, then shuffle node order.
+    const double tot = std::accumulate(class_weight.begin(),
+                                       class_weight.end(), 0.0);
+    std::vector<int32_t> counts(static_cast<size_t>(c), 0);
+    int32_t assigned = 0;
+    for (int32_t k = 0; k < c; ++k) {
+      counts[static_cast<size_t>(k)] = std::max<int32_t>(
+          2, static_cast<int32_t>(n * class_weight[static_cast<size_t>(k)] /
+                                  tot));
+      assigned += counts[static_cast<size_t>(k)];
+    }
+    // Fix rounding drift on class 0.
+    counts[0] += n - assigned;
+    ADAFGL_CHECK(counts[0] >= 2);
+    int32_t idx = 0;
+    for (int32_t k = 0; k < c; ++k) {
+      for (int32_t i = 0; i < counts[static_cast<size_t>(k)]; ++i) {
+        labels[static_cast<size_t>(idx++)] = k;
+      }
+    }
+    for (int32_t i = n - 1; i > 0; --i) {
+      std::swap(labels[static_cast<size_t>(i)],
+                labels[static_cast<size_t>(rng.UniformInt(i + 1))]);
+    }
+  }
+
+  // --- Per-node homophily: bimodal around the graph-level target. ---
+  std::vector<double> node_homophily(static_cast<size_t>(n),
+                                     params.edge_homophily);
+  if (params.hard_node_fraction > 0.0) {
+    const double q = params.hard_node_fraction;
+    const double h = params.edge_homophily;
+    double h_hard = std::max(0.02, h - params.hard_homophily_drop);
+    double h_easy =
+        std::min(0.98, (h - q * h_hard) / std::max(1e-9, 1.0 - q));
+    // Re-solve the hard level so the mixture mean stays exactly on target
+    // even when the easy level clamps at 0.98.
+    h_hard = std::clamp((h - (1.0 - q) * h_easy) / std::max(1e-9, q), 0.02,
+                        0.98);
+    for (int32_t i = 0; i < n; ++i) {
+      node_homophily[static_cast<size_t>(i)] =
+          rng.Bernoulli(q) ? h_hard : h_easy;
+    }
+  }
+
+  // --- Degree propensities: Pareto(tail) heavy-tailed. ---
+  std::vector<double> theta(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    const double u = std::max(rng.Uniform(), 1e-12);
+    theta[static_cast<size_t>(i)] =
+        std::pow(u, -1.0 / params.degree_tail);  // Pareto with x_m = 1.
+  }
+
+  // Per-class and per-(class, community) weighted samplers.
+  const int32_t blocks = std::max<int32_t>(1, params.communities_per_class);
+  std::vector<int32_t> community(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    community[static_cast<size_t>(i)] =
+        static_cast<int32_t>(rng.UniformInt(blocks));
+  }
+  std::vector<std::vector<double>> class_theta(
+      static_cast<size_t>(c),
+      std::vector<double>(static_cast<size_t>(n), 0.0));
+  std::vector<std::vector<double>> block_theta(
+      static_cast<size_t>(c) * blocks,
+      std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t y = labels[static_cast<size_t>(i)];
+    class_theta[static_cast<size_t>(y)][static_cast<size_t>(i)] =
+        theta[static_cast<size_t>(i)];
+    block_theta[static_cast<size_t>(y) * blocks +
+                static_cast<size_t>(community[static_cast<size_t>(i)])]
+               [static_cast<size_t>(i)] = theta[static_cast<size_t>(i)];
+  }
+  WeightedSampler global_sampler(theta);
+  std::vector<WeightedSampler> class_sampler;
+  class_sampler.reserve(static_cast<size_t>(c));
+  for (int32_t k = 0; k < c; ++k) {
+    class_sampler.emplace_back(class_theta[static_cast<size_t>(k)]);
+  }
+  std::vector<WeightedSampler> block_sampler;
+  block_sampler.reserve(static_cast<size_t>(c) * blocks);
+  for (size_t b = 0; b < block_theta.size(); ++b) {
+    block_sampler.emplace_back(block_theta[b]);
+  }
+
+  // --- Edges. ---
+  const int64_t m = params.num_edges > 0
+                        ? params.num_edges
+                        : static_cast<int64_t>(2LL * n);
+  std::set<std::pair<int32_t, int32_t>> edge_set;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  int64_t attempts = 0;
+  const int64_t max_attempts = m * 50;
+  while (static_cast<int64_t>(edges.size()) < m && attempts < max_attempts) {
+    ++attempts;
+    const int32_t u = global_sampler.Sample(rng);
+    const bool want_same =
+        rng.Bernoulli(node_homophily[static_cast<size_t>(u)]);
+    // Retry partner draws WITHIN the chosen branch; otherwise duplicate
+    // rejection (more likely inside small same-class pools) would skew the
+    // realised homophily below target.
+    bool inserted = false;
+    for (int retry = 0; retry < 8 && !inserted; ++retry) {
+      int32_t v;
+      if (want_same) {
+        const int32_t y = labels[static_cast<size_t>(u)];
+        if (blocks > 1 && rng.Bernoulli(params.community_affinity)) {
+          const auto& sampler =
+              block_sampler[static_cast<size_t>(y) * blocks +
+                            static_cast<size_t>(
+                                community[static_cast<size_t>(u)])];
+          v = sampler.empty()
+                  ? class_sampler[static_cast<size_t>(y)].Sample(rng)
+                  : sampler.Sample(rng);
+        } else {
+          v = class_sampler[static_cast<size_t>(y)].Sample(rng);
+        }
+      } else if (c > 2 && rng.Bernoulli(params.hetero_structure)) {
+        // Structured heterophily: attach to the preferred partner class.
+        const int32_t target =
+            (labels[static_cast<size_t>(u)] + 1) % c;
+        v = class_sampler[static_cast<size_t>(target)].Sample(rng);
+      } else {
+        v = global_sampler.Sample(rng);
+        int guard = 0;
+        while (labels[static_cast<size_t>(v)] ==
+                   labels[static_cast<size_t>(u)] && guard++ < 64) {
+          v = global_sampler.Sample(rng);
+        }
+        if (labels[static_cast<size_t>(v)] ==
+            labels[static_cast<size_t>(u)]) {
+          break;
+        }
+      }
+      if (u == v) continue;
+      const auto key = std::minmax(u, v);
+      if (edge_set.insert({key.first, key.second}).second) {
+        edges.emplace_back(key.first, key.second);
+        inserted = true;
+      }
+    }
+  }
+
+  Matrix features = GenerateClassFeatures(
+      labels, c, params.feature_dim, params.feature_signal,
+      params.feature_noise, rng, params.feature_subclusters,
+      params.subcluster_spread);
+  Graph g = MakeGraph(n, edges, std::move(features), std::move(labels), c);
+  StratifiedSplit(&g, params.train_frac, params.val_frac, rng);
+  return g;
+}
+
+}  // namespace adafgl

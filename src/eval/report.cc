@@ -1,0 +1,71 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adafgl {
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - out.mean) * (v - out.mean);
+    out.std = std::sqrt(ss / static_cast<double>(values.size()));
+  }
+  return out;
+}
+
+std::string FormatAccPct(const MeanStd& value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f±%.1f", value.mean * 100.0,
+                value.std * 100.0);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header, int col_width)
+    : header_(std::move(header)), col_width_(col_width) {}
+
+void TablePrinter::PrintHeader() const {
+  PrintRow(header_);
+  std::string sep;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    sep += std::string(static_cast<size_t>(col_width_), '-');
+    if (i + 1 < header_.size()) sep += "-+-";
+  }
+  std::printf("%s\n", sep.c_str());
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    std::string cell = i < cells.size() ? cells[i] : "";
+    // Account for UTF-8 plus-minus (3 bytes, 1 display column).
+    size_t display = cell.size();
+    size_t pm = 0;
+    for (size_t p = 0; (p = cell.find("±", p)) != std::string::npos;
+         p += 2) {
+      ++pm;
+    }
+    display -= pm * 1;  // "±" is 2 bytes, displays as 1 char.
+    if (display < static_cast<size_t>(col_width_)) {
+      cell += std::string(static_cast<size_t>(col_width_) - display, ' ');
+    }
+    line += cell;
+    if (i + 1 < header_.size()) line += " | ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const int v = std::atoi(raw);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,46 @@
+#ifndef ADAFGL_EVAL_REPORT_H_
+#define ADAFGL_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace adafgl {
+
+/// Mean and standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Sample statistics (population std when n > 1, else 0).
+MeanStd Aggregate(const std::vector<double>& values);
+
+/// "81.3±0.9"-style accuracy formatting (inputs in [0,1], printed as %).
+std::string FormatAccPct(const MeanStd& value);
+
+/// \brief Minimal fixed-width table printer for bench output — prints the
+/// same row/column structure the paper's tables use.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        int col_width = 12);
+
+  /// Prints the header row and separator.
+  void PrintHeader() const;
+
+  /// Prints one row; cells beyond the header width are ignored.
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> header_;
+  int col_width_;
+};
+
+/// Reads a positive integer environment override, or `fallback` when the
+/// variable is unset/invalid. Benches use this for seed/round counts
+/// (ADAFGL_SEEDS, ADAFGL_ROUNDS, ...).
+int EnvInt(const char* name, int fallback);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_EVAL_REPORT_H_

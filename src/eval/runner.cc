@@ -1,0 +1,95 @@
+#include "eval/runner.h"
+
+#include "data/registry.h"
+#include "eval/report.h"
+#include "fed/fedgl.h"
+#include "fed/fedpub.h"
+#include "fed/fedsage.h"
+#include "fed/gcfl.h"
+#include "nn/models.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+FederatedDataset PrepareFederatedDataset(const ExperimentSpec& spec,
+                                         uint64_t seed) {
+  Result<DatasetSpec> ds = FindDataset(spec.dataset);
+  ADAFGL_CHECK(ds.ok());
+  Rng rng(seed);
+  Rng data_rng = rng.Fork(1);
+  Graph g = GenerateDataset(ds.value(), data_rng);
+  Rng split_rng = rng.Fork(2);
+  if (spec.split == "community") {
+    return CommunitySplit(g, spec.num_clients, split_rng);
+  }
+  ADAFGL_CHECK(spec.split == "noniid");
+  return StructureNonIidSplit(g, spec.num_clients, spec.injection,
+                              spec.injection_ratio, split_rng);
+}
+
+FedRunResult RunAlgorithm(const std::string& algorithm,
+                          const FederatedDataset& data,
+                          const FedConfig& config) {
+  if (algorithm == "AdaFGL") return RunAdaFglAsFed(data, config);
+  if (algorithm == "FedGL") return RunFedGL(data, config);
+  if (algorithm == "GCFL+") return RunGcflPlus(data, config);
+  if (algorithm == "FedSage+") return RunFedSagePlus(data, config);
+  if (algorithm == "FED-PUB") return RunFedPub(data, config);
+  // "Fed<model>": FedAvg over a zoo backbone.
+  if (algorithm.rfind("Fed", 0) == 0) {
+    const std::string model = algorithm.substr(3);
+    for (const std::string& name : ModelZooNames()) {
+      if (name == model) {
+        FedConfig cfg = config;
+        cfg.model = model;
+        return RunFedAvg(data, cfg);
+      }
+    }
+  }
+  ADAFGL_CHECK(false && "unknown algorithm name");
+  return {};
+}
+
+double RunExperimentOnce(const ExperimentSpec& spec,
+                         const std::string& algorithm, uint64_t seed) {
+  FederatedDataset data = PrepareFederatedDataset(spec, seed);
+  FedConfig cfg = spec.fed;
+  cfg.seed = seed ^ 0xa15eedULL;
+  Result<DatasetSpec> ds = FindDataset(spec.dataset);
+  ADAFGL_CHECK(ds.ok());
+  cfg.inductive = ds.value().inductive;
+  return RunAlgorithm(algorithm, data, cfg).final_test_acc;
+}
+
+std::vector<double> RunExperiment(const ExperimentSpec& spec,
+                                  const std::string& algorithm, int seeds) {
+  std::vector<double> accs;
+  accs.reserve(static_cast<size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    accs.push_back(
+        RunExperimentOnce(spec, algorithm, 1000ULL + 7ULL * s));
+  }
+  return accs;
+}
+
+std::vector<std::string> Table2Methods() {
+  return {"FedGCN",  "FedGCNII",  "FedGAMLP", "FedGGCN",
+          "FedGloGNN", "FedGPRGNN", "FedGL",    "GCFL+",
+          "FedSage+", "FED-PUB",   "AdaFGL"};
+}
+
+std::vector<std::string> Table3Methods() {
+  return {"FedGCNII", "FedGloGNN", "FedGL",  "GCFL+",
+          "FedSage+", "FED-PUB",   "AdaFGL"};
+}
+
+FedConfig BenchFedConfig() {
+  FedConfig cfg;
+  cfg.rounds = EnvInt("ADAFGL_ROUNDS", 15);
+  cfg.local_epochs = EnvInt("ADAFGL_EPOCHS", 3);
+  cfg.post_local_epochs = EnvInt("ADAFGL_POST_EPOCHS", 10);
+  cfg.eval_every = 2;
+  return cfg;
+}
+
+}  // namespace adafgl

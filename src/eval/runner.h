@@ -1,0 +1,58 @@
+#ifndef ADAFGL_EVAL_RUNNER_H_
+#define ADAFGL_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adafgl.h"
+#include "fed/splits.h"
+
+namespace adafgl {
+
+/// \brief One fully-specified experiment: dataset + split + federation
+/// settings. The unit every bench binary sweeps over.
+struct ExperimentSpec {
+  std::string dataset = "Cora";
+  /// "community" or "noniid".
+  std::string split = "community";
+  InjectionMode injection = InjectionMode::kRandom;
+  double injection_ratio = 0.5;
+  int32_t num_clients = 10;
+  FedConfig fed;
+};
+
+/// Generates the dataset, applies the split, and returns the federated
+/// dataset for a given seed. Sets fed.inductive from the registry entry.
+FederatedDataset PrepareFederatedDataset(const ExperimentSpec& spec,
+                                         uint64_t seed);
+
+/// Runs one algorithm by name on a prepared federated dataset:
+///  * "Fed<Zoo>" (FedGCN, FedGCNII, FedGAMLP, FedGPRGNN, FedGGCN,
+///    FedGloGNN, FedSGC, FedMLP) — FedAvg over that backbone;
+///  * "FedGL", "GCFL+", "FedSage+", "FED-PUB" — the FGL baselines;
+///  * "AdaFGL" — the full paradigm (default options).
+FedRunResult RunAlgorithm(const std::string& algorithm,
+                          const FederatedDataset& data,
+                          const FedConfig& config);
+
+/// End-to-end convenience: prepare + run; returns final test accuracy.
+double RunExperimentOnce(const ExperimentSpec& spec,
+                         const std::string& algorithm, uint64_t seed);
+
+/// Repeats RunExperimentOnce over `seeds` deterministic seeds.
+std::vector<double> RunExperiment(const ExperimentSpec& spec,
+                                  const std::string& algorithm, int seeds);
+
+/// The transductive method list of Table II, in row order.
+std::vector<std::string> Table2Methods();
+
+/// The inductive method list of Table III, in row order.
+std::vector<std::string> Table3Methods();
+
+/// A FedConfig scaled for bench runs on one CPU core: rounds and epochs
+/// come from ADAFGL_ROUNDS / ADAFGL_EPOCHS env overrides when present.
+FedConfig BenchFedConfig();
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_EVAL_RUNNER_H_

@@ -1,0 +1,85 @@
+#include "eval/sparsity.h"
+
+#include <algorithm>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Graph ApplyFeatureSparsity(const Graph& g, double missing_frac, Rng& rng) {
+  ADAFGL_CHECK(missing_frac >= 0.0 && missing_frac <= 1.0);
+  Graph out = g;
+  std::vector<uint8_t> is_train(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t v : g.train_nodes) is_train[static_cast<size_t>(v)] = 1;
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    if (is_train[static_cast<size_t>(v)]) continue;
+    if (rng.Bernoulli(missing_frac)) {
+      float* row = out.features.row(v);
+      std::fill(row, row + out.features.cols(), 0.0f);
+    }
+  }
+  return out;
+}
+
+Graph ApplyEdgeSparsity(const Graph& g, double remove_frac, Rng& rng) {
+  ADAFGL_CHECK(remove_frac >= 0.0 && remove_frac <= 1.0);
+  std::vector<std::pair<int32_t, int32_t>> edges = UndirectedEdges(g.adj);
+  std::vector<std::pair<int32_t, int32_t>> kept;
+  kept.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (!rng.Bernoulli(remove_frac)) kept.push_back(e);
+  }
+  Graph out = g;
+  out.adj = CsrFromUndirectedEdges(g.num_nodes(), kept);
+  return out;
+}
+
+Graph ApplyLabelSparsity(const Graph& g, double keep_frac, Rng& rng) {
+  ADAFGL_CHECK(keep_frac > 0.0 && keep_frac <= 1.0);
+  Graph out = g;
+  // Group training nodes by class so every class keeps at least one.
+  std::vector<std::vector<int32_t>> by_class(
+      static_cast<size_t>(g.num_classes));
+  for (int32_t v : g.train_nodes) {
+    by_class[static_cast<size_t>(g.labels[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  out.train_nodes.clear();
+  for (auto& nodes : by_class) {
+    if (nodes.empty()) continue;
+    for (int64_t i = static_cast<int64_t>(nodes.size()) - 1; i > 0; --i) {
+      std::swap(nodes[static_cast<size_t>(i)],
+                nodes[static_cast<size_t>(rng.UniformInt(i + 1))]);
+    }
+    const auto keep = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(nodes.size()) * keep_frac));
+    for (size_t i = 0; i < keep; ++i) out.train_nodes.push_back(nodes[i]);
+  }
+  std::sort(out.train_nodes.begin(), out.train_nodes.end());
+  return out;
+}
+
+FederatedDataset ApplySparsity(const FederatedDataset& data,
+                               SparsityKind kind, double level, Rng& rng) {
+  FederatedDataset out = data;
+  for (size_t c = 0; c < out.clients.size(); ++c) {
+    Rng client_rng = rng.Fork(c);
+    switch (kind) {
+      case SparsityKind::kFeature:
+        out.clients[c] = ApplyFeatureSparsity(data.clients[c], level,
+                                              client_rng);
+        break;
+      case SparsityKind::kEdge:
+        out.clients[c] = ApplyEdgeSparsity(data.clients[c], level,
+                                           client_rng);
+        break;
+      case SparsityKind::kLabel:
+        out.clients[c] = ApplyLabelSparsity(data.clients[c], 1.0 - level,
+                                            client_rng);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace adafgl

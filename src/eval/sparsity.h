@@ -1,0 +1,31 @@
+#ifndef ADAFGL_EVAL_SPARSITY_H_
+#define ADAFGL_EVAL_SPARSITY_H_
+
+#include "fed/splits.h"
+#include "graph/graph.h"
+#include "tensor/rng.h"
+
+namespace adafgl {
+
+/// Sparse-setting transforms for the Q4 experiments (Fig. 10). Each returns
+/// a modified copy; labels and untouched structure are preserved.
+
+/// Feature sparsity: zeroes the feature vectors of `missing_frac` of the
+/// *unlabeled* nodes (the paper assumes unlabeled-node features go missing).
+Graph ApplyFeatureSparsity(const Graph& g, double missing_frac, Rng& rng);
+
+/// Edge sparsity: removes `remove_frac` of the edges uniformly at random.
+Graph ApplyEdgeSparsity(const Graph& g, double remove_frac, Rng& rng);
+
+/// Label sparsity: keeps only `keep_frac` of the training nodes (per
+/// class, at least one kept); dropped nodes are removed from every split.
+Graph ApplyLabelSparsity(const Graph& g, double keep_frac, Rng& rng);
+
+/// Applies one of the transforms to every client of a federated dataset.
+enum class SparsityKind { kFeature, kEdge, kLabel };
+FederatedDataset ApplySparsity(const FederatedDataset& data,
+                               SparsityKind kind, double level, Rng& rng);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_EVAL_SPARSITY_H_

@@ -1,0 +1,85 @@
+#include "eval/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adafgl {
+
+double HyperTuner::Trial::Get(const std::string& name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return value;
+  }
+  ADAFGL_CHECK(false && "unknown hyperparameter name");
+  return 0.0;
+}
+
+void HyperTuner::AddUniform(const std::string& name, double lo, double hi) {
+  ADAFGL_CHECK(lo <= hi);
+  ParamSpec spec;
+  spec.name = name;
+  spec.lo = lo;
+  spec.hi = hi;
+  space_.push_back(std::move(spec));
+}
+
+void HyperTuner::AddChoice(const std::string& name,
+                           std::vector<double> choices) {
+  ADAFGL_CHECK(!choices.empty());
+  ParamSpec spec;
+  spec.name = name;
+  spec.is_choice = true;
+  spec.choices = std::move(choices);
+  space_.push_back(std::move(spec));
+}
+
+HyperTuner::Trial HyperTuner::Sample() {
+  Trial t;
+  for (const ParamSpec& spec : space_) {
+    const double v =
+        spec.is_choice
+            ? spec.choices[static_cast<size_t>(
+                  rng_.UniformInt(static_cast<int64_t>(spec.choices.size())))]
+            : rng_.Uniform(spec.lo, spec.hi);
+    t.params.emplace_back(spec.name, v);
+  }
+  return t;
+}
+
+HyperTuner::Trial HyperTuner::Perturb(const Trial& base) {
+  Trial t;
+  for (size_t i = 0; i < space_.size(); ++i) {
+    const ParamSpec& spec = space_[i];
+    const double current = base.params[i].second;
+    double v;
+    if (spec.is_choice) {
+      // Stay put with probability 1/2, else resample.
+      v = rng_.Bernoulli(0.5)
+              ? current
+              : spec.choices[static_cast<size_t>(rng_.UniformInt(
+                    static_cast<int64_t>(spec.choices.size())))];
+    } else {
+      const double width = 0.15 * (spec.hi - spec.lo);
+      v = std::clamp(current + rng_.Normal() * width, spec.lo, spec.hi);
+    }
+    t.params.emplace_back(spec.name, v);
+  }
+  return t;
+}
+
+HyperTuner::Trial HyperTuner::Optimize(const Objective& objective,
+                                       int num_trials) {
+  ADAFGL_CHECK(!space_.empty());
+  ADAFGL_CHECK(num_trials >= 1);
+  history_.clear();
+  Trial best;
+  const int explore = std::max(1, num_trials * 2 / 3);
+  for (int i = 0; i < num_trials; ++i) {
+    Trial t = (i < explore || history_.empty()) ? Sample() : Perturb(best);
+    t.objective = objective(t);
+    if (history_.empty() || t.objective > best.objective) best = t;
+    history_.push_back(std::move(t));
+  }
+  return best;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,70 @@
+#ifndef ADAFGL_EVAL_TUNER_H_
+#define ADAFGL_EVAL_TUNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief Minimal hyperparameter search standing in for the paper's Optuna
+/// usage (Sec. IV-A): random search with a coarse successive-halving-style
+/// refinement around the incumbent.
+///
+/// A search space is a set of named parameters, each either a continuous
+/// range or a discrete choice list (the paper grid-searches e.g.
+/// {0.01, 0.05, 0.1, 0.5} and explores alpha/beta in [0, 1]).
+class HyperTuner {
+ public:
+  /// One sampled configuration: name -> value.
+  struct Trial {
+    std::vector<std::pair<std::string, double>> params;
+    double objective = 0.0;
+
+    /// Value of a named parameter; aborts if absent (programming error).
+    double Get(const std::string& name) const;
+  };
+
+  /// Objective: maps a trial's parameters to a score (higher is better),
+  /// e.g. federated validation accuracy.
+  using Objective = std::function<double(const Trial&)>;
+
+  explicit HyperTuner(uint64_t seed) : rng_(seed) {}
+
+  /// Adds a continuous parameter sampled uniformly in [lo, hi].
+  void AddUniform(const std::string& name, double lo, double hi);
+
+  /// Adds a discrete parameter sampled from the given choices.
+  void AddChoice(const std::string& name, std::vector<double> choices);
+
+  /// Runs `num_trials` evaluations: the first 2/3 are uniform random, the
+  /// remainder perturb the incumbent (local refinement). Returns the best
+  /// trial. Requires at least one parameter and num_trials >= 1.
+  Trial Optimize(const Objective& objective, int num_trials);
+
+  /// All evaluated trials of the last Optimize call, in order.
+  const std::vector<Trial>& history() const { return history_; }
+
+ private:
+  struct ParamSpec {
+    std::string name;
+    bool is_choice = false;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<double> choices;
+  };
+
+  Trial Sample();
+  Trial Perturb(const Trial& base);
+
+  std::vector<ParamSpec> space_;
+  std::vector<Trial> history_;
+  Rng rng_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_EVAL_TUNER_H_

@@ -1,0 +1,252 @@
+#include "fed/federation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/models.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+ModelConfig MakeModelConfig(const Graph& g, const FedConfig& config) {
+  ModelConfig mc;
+  mc.in_dim = g.feature_dim();
+  mc.num_classes = g.num_classes;
+  mc.hidden = config.hidden;
+  mc.dropout = config.dropout;
+  return mc;
+}
+
+}  // namespace
+
+FedClient::FedClient(const Graph& graph, const FedConfig& config,
+                     uint64_t client_seed)
+    : graph_(&graph), rng_(client_seed) {
+  eval_ctx_ = GraphContext::Create(*graph_);
+  if (config.inductive && !graph.train_nodes.empty()) {
+    // Inductive task: the model may only see the train-induced subgraph
+    // during training.
+    train_subgraph_ = std::make_unique<Graph>(
+        InducedSubgraph(graph, graph.train_nodes));
+    train_ctx_ = GraphContext::Create(*train_subgraph_);
+    local_train_nodes_.resize(train_subgraph_->num_nodes());
+    std::iota(local_train_nodes_.begin(), local_train_nodes_.end(), 0);
+    train_nodes_in_train_ctx_ = &local_train_nodes_;
+  } else {
+    train_ctx_ = eval_ctx_;
+    train_nodes_in_train_ctx_ = &graph_->train_nodes;
+  }
+
+  ModelConfig mc = MakeModelConfig(graph, config);
+  Rng model_rng = rng_.Fork(0);
+  if (config.model == "GCN+mask") {
+    model_ = std::make_unique<GcnModel>(mc, model_rng, /*with_mask=*/true);
+  } else {
+    model_ = CreateModel(config.model, mc, model_rng);
+  }
+  optimizer_ = std::make_unique<Adam>(model_->Params(), config.lr,
+                                      config.weight_decay);
+}
+
+Tensor FedClient::BuildLoss(const GraphContext& ctx,
+                            const std::vector<int32_t>& train, bool training) {
+  Tensor logits = model_->Forward(ctx, training, rng_);
+  std::vector<Tensor> losses;
+  if (!train.empty()) {
+    losses.push_back(ops::CrossEntropyWithLogits(
+        logits, ctx.graph->labels, train));
+  }
+  if (pseudo_weight_ > 0.0f && !pseudo_nodes_.empty() &&
+      ctx.graph == graph_) {
+    // Pseudo-label ids refer to the full local graph, so only apply them
+    // when training on it (always true in transductive mode).
+    losses.push_back(ops::Scale(
+        ops::CrossEntropyWithLogits(logits, pseudo_labels_, pseudo_nodes_),
+        pseudo_weight_));
+  }
+  if (mask_penalty_ > 0.0f) {
+    std::vector<Tensor> params = model_->Params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i < is_mask_.size() && is_mask_[i]) {
+        losses.push_back(
+            ops::Scale(ops::L1Penalty(params[i]), mask_penalty_));
+      }
+    }
+  }
+  ADAFGL_CHECK(!losses.empty());
+  return ops::AddScalars(losses);
+}
+
+double FedClient::TrainEpochs(int epochs) {
+  if (train_nodes_in_train_ctx_->empty()) {
+    last_delta_.clear();
+    return 0.0;
+  }
+  const std::vector<Matrix> before = Weights();
+  double total_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    optimizer_->ZeroGrad();
+    Tensor loss =
+        BuildLoss(train_ctx_, *train_nodes_in_train_ctx_, /*training=*/true);
+    Backward(loss);
+    optimizer_->Step();
+    total_loss += loss->value()(0, 0);
+  }
+  const std::vector<Matrix> after = Weights();
+  last_delta_.clear();
+  last_delta_.reserve(after.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    last_delta_.push_back(adafgl::Sub(after[i], before[i]));
+  }
+  return total_loss / std::max(epochs, 1);
+}
+
+void FedClient::SetGlobalWeights(const std::vector<Matrix>& weights) {
+  std::vector<Tensor> params = model_->Params();
+  ADAFGL_CHECK(params.size() == weights.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i < is_mask_.size() && is_mask_[i]) continue;  // Masks stay local.
+    ADAFGL_CHECK(params[i]->value().SameShape(weights[i]));
+    params[i]->mutable_value() = weights[i];
+  }
+}
+
+double FedClient::EvalTest() { return EvalOn(graph_->test_nodes); }
+
+double FedClient::EvalOn(const std::vector<int32_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  Tensor logits = model_->Forward(eval_ctx_, /*training=*/false, rng_);
+  return Accuracy(logits->value(), graph_->labels, nodes);
+}
+
+void FedClient::SetPseudoLabels(std::vector<int32_t> pseudo_labels,
+                                std::vector<int32_t> nodes, float weight) {
+  pseudo_labels_ = std::move(pseudo_labels);
+  pseudo_nodes_ = std::move(nodes);
+  pseudo_weight_ = weight;
+}
+
+int64_t FedClient::ParamBytes() {
+  return ParameterCount(*model_) * static_cast<int64_t>(sizeof(float));
+}
+
+std::vector<Matrix> AverageWeights(
+    const std::vector<std::vector<Matrix>>& client_weights,
+    const std::vector<double>& weights) {
+  ADAFGL_CHECK(!client_weights.empty());
+  ADAFGL_CHECK(client_weights.size() == weights.size());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  ADAFGL_CHECK(total > 0.0);
+  std::vector<Matrix> out;
+  out.reserve(client_weights[0].size());
+  for (size_t p = 0; p < client_weights[0].size(); ++p) {
+    Matrix acc(client_weights[0][p].rows(), client_weights[0][p].cols());
+    for (size_t c = 0; c < client_weights.size(); ++c) {
+      ADAFGL_CHECK(client_weights[c][p].SameShape(acc));
+      Axpy(static_cast<float>(weights[c] / total), client_weights[c][p],
+           &acc);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<FedClient>> MakeClients(
+    const FederatedDataset& data, const FedConfig& config) {
+  std::vector<std::unique_ptr<FedClient>> clients;
+  clients.reserve(data.clients.size());
+  Rng seeder(config.seed);
+  for (size_t c = 0; c < data.clients.size(); ++c) {
+    clients.push_back(std::make_unique<FedClient>(
+        data.clients[c], config, seeder.NextU64()));
+  }
+  // Identical initial weights across clients (standard FL assumption).
+  if (!clients.empty()) {
+    const std::vector<Matrix> init = clients[0]->Weights();
+    for (size_t c = 1; c < clients.size(); ++c) {
+      clients[c]->SetGlobalWeights(init);
+    }
+  }
+  return clients;
+}
+
+double WeightedTestAccuracy(
+    std::vector<std::unique_ptr<FedClient>>& clients) {
+  double weighted = 0.0;
+  int64_t total = 0;
+  for (auto& c : clients) {
+    const auto n_test =
+        static_cast<int64_t>(c->graph().test_nodes.size());
+    if (n_test == 0) continue;
+    weighted += c->EvalTest() * static_cast<double>(n_test);
+    total += n_test;
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config) {
+  std::vector<std::unique_ptr<FedClient>> clients =
+      MakeClients(data, config);
+  const auto n = static_cast<int32_t>(clients.size());
+  ADAFGL_CHECK(n > 0);
+  Rng round_rng(config.seed ^ 0x5eedf00dULL);
+
+  FedRunResult result;
+  std::vector<Matrix> global = clients[0]->Weights();
+  const int64_t param_bytes = clients[0]->ParamBytes();
+
+  const int32_t per_round = std::max<int32_t>(
+      1, static_cast<int32_t>(std::lround(config.participation * n)));
+
+  for (int round = 1; round <= config.rounds; ++round) {
+    // Sample participants.
+    std::vector<int32_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    for (int32_t i = n - 1; i > 0; --i) {
+      std::swap(order[static_cast<size_t>(i)],
+                order[static_cast<size_t>(round_rng.UniformInt(i + 1))]);
+    }
+    order.resize(static_cast<size_t>(per_round));
+
+    std::vector<std::vector<Matrix>> uploads;
+    std::vector<double> sizes;
+    double loss_sum = 0.0;
+    for (int32_t c : order) {
+      clients[static_cast<size_t>(c)]->SetGlobalWeights(global);
+      loss_sum +=
+          clients[static_cast<size_t>(c)]->TrainEpochs(config.local_epochs);
+      uploads.push_back(clients[static_cast<size_t>(c)]->Weights());
+      sizes.push_back(static_cast<double>(
+          std::max<int64_t>(1, clients[static_cast<size_t>(c)]->num_train())));
+      result.bytes_up += param_bytes;
+      result.bytes_down += param_bytes;
+    }
+    global = AverageWeights(uploads, sizes);
+
+    if (round % config.eval_every == 0 || round == config.rounds) {
+      for (auto& c : clients) c->SetGlobalWeights(global);
+      RoundRecord rec;
+      rec.round = round;
+      rec.test_acc = WeightedTestAccuracy(clients);
+      rec.train_loss = loss_sum / std::max<double>(1.0, per_round);
+      result.history.push_back(rec);
+    }
+  }
+
+  // Local correction: every client fine-tunes the final global model.
+  for (auto& c : clients) {
+    c->SetGlobalWeights(global);
+    if (config.post_local_epochs > 0) c->TrainEpochs(config.post_local_epochs);
+  }
+  result.global_weights = std::move(global);
+  result.client_test_acc.reserve(clients.size());
+  for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
+  result.final_test_acc = WeightedTestAccuracy(clients);
+  return result;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,156 @@
+#ifndef ADAFGL_FED_FEDERATION_H_
+#define ADAFGL_FED_FEDERATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/splits.h"
+#include "nn/model.h"
+#include "tensor/optim.h"
+
+namespace adafgl {
+
+/// \brief Run configuration shared by every federated algorithm.
+struct FedConfig {
+  std::string model = "GCN";   ///< Backbone architecture (ModelZooNames()).
+  int rounds = 30;             ///< Communication rounds T.
+  int local_epochs = 3;        ///< Local epochs E per round.
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  float dropout = 0.5f;
+  int64_t hidden = 64;
+  /// Fraction of clients sampled each round (Sec. IV-E).
+  double participation = 1.0;
+  /// Inductive task: train on the subgraph induced by each client's train
+  /// nodes, evaluate on the full local subgraph (Reddit/Flickr).
+  bool inductive = false;
+  /// "Local correction" fine-tuning epochs after federated training
+  /// (Sec. IV-A: applied to all federated GNN implementations).
+  int post_local_epochs = 10;
+  /// Evaluate the aggregated model every this many rounds.
+  int eval_every = 1;
+  uint64_t seed = 42;
+};
+
+/// One per-round measurement of the aggregated global model.
+struct RoundRecord {
+  int round = 0;
+  double test_acc = 0.0;
+  double train_loss = 0.0;
+};
+
+/// Outcome of a federated run.
+struct FedRunResult {
+  std::vector<RoundRecord> history;
+  /// Test accuracy after any personalization / local correction, weighted
+  /// by client test-set sizes.
+  double final_test_acc = 0.0;
+  /// Per-client final test accuracy (Fig. 2(d)).
+  std::vector<double> client_test_acc;
+  /// Communication volume actually exchanged (bytes), both directions.
+  int64_t bytes_up = 0;
+  int64_t bytes_down = 0;
+  /// Final server-side aggregated weights (AdaFGL Step 1 consumes these).
+  std::vector<Matrix> global_weights;
+};
+
+/// \brief One federated participant: local subgraph, local model, local
+/// optimizer. The substrate shared by FedAvg and all FGL baselines.
+class FedClient {
+ public:
+  FedClient(const Graph& graph, const FedConfig& config, uint64_t client_seed);
+
+  /// Number of local training nodes (FedAvg aggregation weight).
+  int64_t num_train() const {
+    return static_cast<int64_t>(graph_->train_nodes.size());
+  }
+  const Graph& graph() const { return *graph_; }
+  Model& model() { return *model_; }
+  const GraphContext& eval_context() const { return eval_ctx_; }
+
+  /// Runs `epochs` local epochs of supervised training; returns mean loss.
+  double TrainEpochs(int epochs);
+
+  /// Overwrites local weights with the broadcast global weights.
+  void SetGlobalWeights(const std::vector<Matrix>& weights);
+
+  /// Copies of the current local weights (upload).
+  std::vector<Matrix> Weights() { return GetWeights(*model_); }
+
+  /// Weight delta of the last TrainEpochs call (post - pre), used by
+  /// GCFL+'s gradient clustering.
+  const std::vector<Matrix>& last_delta() const { return last_delta_; }
+
+  /// Test accuracy of the local model on local test nodes.
+  double EvalTest();
+  /// Accuracy on an arbitrary node set of the full local graph.
+  double EvalOn(const std::vector<int32_t>& nodes);
+
+  /// Installs soft supervision on extra nodes (FedGL's global
+  /// pseudo-labels): adds `weight` * CE(logits[nodes], pseudo) to the loss.
+  void SetPseudoLabels(std::vector<int32_t> pseudo_labels,
+                       std::vector<int32_t> nodes, float weight);
+
+  /// Adds `weight` * mean|mask| sparsity penalty for masked models
+  /// (FED-PUB).
+  void SetMaskPenalty(float weight) { mask_penalty_ = weight; }
+
+  /// Marks which Params() entries are personalized masks that must never be
+  /// aggregated/broadcast (FED-PUB).
+  void SetMaskFlags(std::vector<bool> is_mask) {
+    is_mask_ = std::move(is_mask);
+  }
+  const std::vector<bool>& mask_flags() const { return is_mask_; }
+
+  int64_t ParamBytes();
+
+ private:
+  Tensor BuildLoss(const GraphContext& ctx, const std::vector<int32_t>& train,
+                   bool training);
+
+  std::unique_ptr<Graph> train_subgraph_;  // Inductive mode only.
+  const Graph* graph_;
+  GraphContext eval_ctx_;
+  GraphContext train_ctx_;
+  const std::vector<int32_t>* train_nodes_in_train_ctx_;
+  std::vector<int32_t> local_train_nodes_;  // Inductive: all ids of subgraph.
+
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Adam> optimizer_;
+  Rng rng_;
+
+  std::vector<Matrix> last_delta_;
+
+  std::vector<int32_t> pseudo_labels_;
+  std::vector<int32_t> pseudo_nodes_;
+  float pseudo_weight_ = 0.0f;
+  float mask_penalty_ = 0.0f;
+  std::vector<bool> is_mask_;
+};
+
+/// Weighted element-wise average of client weight lists; weights are
+/// normalised internally. All lists must be shape-compatible.
+std::vector<Matrix> AverageWeights(
+    const std::vector<std::vector<Matrix>>& client_weights,
+    const std::vector<double>& weights);
+
+/// Builds one FedClient per subgraph, all starting from identical weights.
+std::vector<std::unique_ptr<FedClient>> MakeClients(
+    const FederatedDataset& data, const FedConfig& config);
+
+/// Test accuracy over all clients, weighted by local test-set size, using
+/// each client's current local model.
+double WeightedTestAccuracy(std::vector<std::unique_ptr<FedClient>>& clients);
+
+/// \brief Plain FedAvg over any zoo model (Eq. 3-4): the "federated
+/// implementation of GNNs" family of baselines (FedGCN, FedGloGNN, ...).
+///
+/// Runs T rounds of broadcast -> E local epochs -> size-weighted
+/// aggregation, then `post_local_epochs` of local correction per client.
+FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_FEDERATION_H_

@@ -1,0 +1,118 @@
+#include "fed/fedgl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Confidence threshold above which an unlabeled node receives its pseudo
+/// label (FedGL uses a fixed high-confidence cut).
+constexpr float kConfidence = 0.80f;
+constexpr float kPseudoWeight = 0.5f;
+
+}  // namespace
+
+FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
+  std::vector<std::unique_ptr<FedClient>> clients =
+      MakeClients(data, config);
+  const auto n = static_cast<int32_t>(clients.size());
+  ADAFGL_CHECK(n > 0);
+  Rng round_rng(config.seed ^ 0xfed91ULL);
+
+  FedRunResult result;
+  std::vector<Matrix> global = clients[0]->Weights();
+  const int64_t param_bytes = clients[0]->ParamBytes();
+  const int32_t per_round = std::max<int32_t>(
+      1, static_cast<int32_t>(std::lround(config.participation * n)));
+  const int warmup = std::max(1, config.rounds / 3);
+
+  for (int round = 1; round <= config.rounds; ++round) {
+    std::vector<int32_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    for (int32_t i = n - 1; i > 0; --i) {
+      std::swap(order[static_cast<size_t>(i)],
+                order[static_cast<size_t>(round_rng.UniformInt(i + 1))]);
+    }
+    order.resize(static_cast<size_t>(per_round));
+
+    std::vector<std::vector<Matrix>> uploads;
+    std::vector<double> sizes;
+    double loss_sum = 0.0;
+    for (int32_t c : order) {
+      FedClient& client = *clients[static_cast<size_t>(c)];
+      client.SetGlobalWeights(global);
+      loss_sum += client.TrainEpochs(config.local_epochs);
+      uploads.push_back(client.Weights());
+      sizes.push_back(static_cast<double>(
+          std::max<int64_t>(1, client.num_train())));
+      result.bytes_up += param_bytes;
+      result.bytes_down += param_bytes;
+    }
+    global = AverageWeights(uploads, sizes);
+
+    // Global self-supervision: after warmup, refresh every client's pseudo
+    // labels from the aggregated model's confident predictions.
+    if (round >= warmup) {
+      for (auto& client : clients) {
+        client->SetGlobalWeights(global);
+        Rng eval_rng(config.seed ^ static_cast<uint64_t>(round));
+        Tensor logits = client->model().Forward(client->eval_context(),
+                                                /*training=*/false, eval_rng);
+        const Matrix probs = Softmax(logits->value());
+        // Prediction upload (server-side fusion) counted as communication.
+        result.bytes_up +=
+            probs.size() * static_cast<int64_t>(sizeof(float));
+        std::vector<uint8_t> is_train(
+            static_cast<size_t>(client->graph().num_nodes()), 0);
+        for (int32_t v : client->graph().train_nodes) {
+          is_train[static_cast<size_t>(v)] = 1;
+        }
+        std::vector<int32_t> pseudo_nodes;
+        std::vector<int32_t> pseudo_labels(
+            static_cast<size_t>(client->graph().num_nodes()), 0);
+        for (int32_t v = 0; v < client->graph().num_nodes(); ++v) {
+          if (is_train[static_cast<size_t>(v)]) continue;
+          const float* p = probs.row(v);
+          int32_t best = 0;
+          for (int64_t j = 1; j < probs.cols(); ++j) {
+            if (p[j] > p[best]) best = static_cast<int32_t>(j);
+          }
+          if (p[best] >= kConfidence) {
+            pseudo_nodes.push_back(v);
+            pseudo_labels[static_cast<size_t>(v)] = best;
+          }
+        }
+        client->SetPseudoLabels(std::move(pseudo_labels),
+                                std::move(pseudo_nodes), kPseudoWeight);
+        result.bytes_down +=
+            client->graph().num_nodes() * static_cast<int64_t>(sizeof(int32_t));
+      }
+    }
+
+    if (round % config.eval_every == 0 || round == config.rounds) {
+      for (auto& c : clients) c->SetGlobalWeights(global);
+      RoundRecord rec;
+      rec.round = round;
+      rec.test_acc = WeightedTestAccuracy(clients);
+      rec.train_loss = loss_sum / std::max<double>(1.0, per_round);
+      result.history.push_back(rec);
+    }
+  }
+
+  for (auto& c : clients) {
+    c->SetGlobalWeights(global);
+    if (config.post_local_epochs > 0) c->TrainEpochs(config.post_local_epochs);
+  }
+  result.global_weights = std::move(global);
+  for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
+  result.final_test_acc = WeightedTestAccuracy(clients);
+  return result;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,22 @@
+#ifndef ADAFGL_FED_FEDGL_H_
+#define ADAFGL_FED_FEDGL_H_
+
+#include "fed/federation.h"
+
+namespace adafgl {
+
+/// \brief FedGL (Chen et al., 2021), mechanism-level reimplementation.
+///
+/// Keeps FedGL's distinguishing idea — *global self-supervision*: clients
+/// upload local soft predictions, the server fuses them into global
+/// supervised information, and clients train against server-provided pseudo
+/// labels on confident unlabeled nodes. Because subgraphs here are disjoint
+/// (no shared node ids), the fused information is per-class prediction
+/// prototypes rather than the original overlapping-node graph completion;
+/// DESIGN.md §4 documents the substitution. Communication counts the extra
+/// prediction uploads.
+FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_FEDGL_H_

@@ -1,0 +1,185 @@
+#include "fed/fedsage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/layers.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Graph MendGraphWithNeighGen(const Graph& g, const FedSageOptions& options,
+                            const Matrix& feature_mean, Rng& rng) {
+  const int32_t n = g.num_nodes();
+  const int64_t f = g.feature_dim();
+  std::vector<std::pair<int32_t, int32_t>> edges = UndirectedEdges(g.adj);
+  if (edges.size() < 4 || n < 8) return g;
+
+  // --- Impair: hide a fraction of local edges. ---
+  for (int64_t i = static_cast<int64_t>(edges.size()) - 1; i > 0; --i) {
+    std::swap(edges[static_cast<size_t>(i)],
+              edges[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+  const auto n_hidden = static_cast<size_t>(
+      static_cast<double>(edges.size()) * options.hide_ratio);
+  std::vector<std::pair<int32_t, int32_t>> hidden(
+      edges.begin(), edges.begin() + static_cast<int64_t>(n_hidden));
+  std::vector<std::pair<int32_t, int32_t>> kept(
+      edges.begin() + static_cast<int64_t>(n_hidden), edges.end());
+
+  // --- Regression targets. ---
+  Matrix count_target(n, 1);
+  Matrix feat_sum(n, f);
+  for (const auto& [u, v] : hidden) {
+    count_target(u, 0) += 1.0f;
+    count_target(v, 0) += 1.0f;
+    for (int64_t j = 0; j < f; ++j) {
+      feat_sum(u, j) += g.features(v, j);
+      feat_sum(v, j) += g.features(u, j);
+    }
+  }
+  std::vector<int32_t> has_hidden;
+  for (int32_t u = 0; u < n; ++u) {
+    if (count_target(u, 0) > 0.0f) {
+      has_hidden.push_back(u);
+      const float inv = 1.0f / count_target(u, 0);
+      for (int64_t j = 0; j < f; ++j) feat_sum(u, j) *= inv;
+    }
+  }
+  if (has_hidden.empty()) return g;
+  const Matrix feat_target = GatherRows(feat_sum, has_hidden);
+  const Matrix count_target_sub = [&] {
+    Matrix m(static_cast<int64_t>(has_hidden.size()), 1);
+    for (size_t i = 0; i < has_hidden.size(); ++i) {
+      m(static_cast<int64_t>(i), 0) = count_target(has_hidden[i], 0);
+    }
+    return m;
+  }();
+
+  // --- NeighGen: GCN encoder on the impaired graph + two heads. ---
+  Graph impaired;
+  impaired.adj = CsrFromUndirectedEdges(n, kept);
+  impaired.features = g.features;
+  impaired.labels = g.labels;
+  impaired.num_classes = g.num_classes;
+  auto norm_adj = std::make_shared<CsrMatrix>(GcnNormalized(impaired.adj));
+  Tensor x = MakeConst(g.features);
+
+  Rng init_rng = rng.Fork(7);
+  const int64_t hidden_dim = 64;
+  Linear enc(f, hidden_dim, init_rng);
+  Linear count_head(hidden_dim, 1, init_rng);
+  Linear feat_head(hidden_dim, f, init_rng);
+  std::vector<Tensor> params;
+  for (const Tensor& p : enc.Params()) params.push_back(p);
+  for (const Tensor& p : count_head.Params()) params.push_back(p);
+  for (const Tensor& p : feat_head.Params()) params.push_back(p);
+  Adam opt(params, options.neighgen_lr);
+
+  for (int epoch = 0; epoch < options.neighgen_epochs; ++epoch) {
+    opt.ZeroGrad();
+    Tensor h = ops::Relu(enc.Forward(ops::SpMM(norm_adj, x)));
+    Tensor counts = ops::Relu(count_head.Forward(h));
+    Tensor feats = feat_head.Forward(ops::GatherRows(h, has_hidden));
+    Tensor loss = ops::Add(
+        ops::MseLoss(ops::GatherRows(counts, has_hidden), count_target_sub),
+        ops::MseLoss(feats, feat_target));
+    if (!feature_mean.empty()) {
+      // Cross-client regulariser: generated features should stay near the
+      // federation-wide feature moments the server shares.
+      Matrix broadcast(feats->rows(), f);
+      for (int64_t i = 0; i < broadcast.rows(); ++i) {
+        std::copy(feature_mean.data(), feature_mean.data() + f,
+                  broadcast.row(i));
+      }
+      loss = ops::Add(loss, ops::Scale(ops::MseLoss(feats, broadcast), 0.1f));
+    }
+    Backward(loss);
+    opt.Step();
+  }
+
+  // --- Mend: generate neighbours on the full local graph. ---
+  auto full_norm = std::make_shared<CsrMatrix>(GcnNormalized(g.adj));
+  Tensor h = ops::Relu(enc.Forward(ops::SpMM(full_norm, x)));
+  const Matrix counts = Relu(count_head.Forward(h)->value());
+  const Matrix gen_feats = feat_head.Forward(h)->value();
+
+  std::vector<std::pair<int32_t, int32_t>> new_edges = UndirectedEdges(g.adj);
+  std::vector<std::vector<float>> extra_rows;
+  std::vector<int32_t> extra_labels;
+  int32_t next_id = n;
+  for (int32_t u = 0; u < n; ++u) {
+    const int k = std::min<int>(options.max_generated,
+                                static_cast<int>(std::lround(counts(u, 0))));
+    for (int i = 0; i < k; ++i) {
+      std::vector<float> row(static_cast<size_t>(f));
+      for (int64_t j = 0; j < f; ++j) {
+        row[static_cast<size_t>(j)] =
+            gen_feats(u, j) + 0.1f * static_cast<float>(rng.Normal());
+      }
+      extra_rows.push_back(std::move(row));
+      extra_labels.push_back(0);  // Unlabeled; never enters a split.
+      new_edges.emplace_back(u, next_id++);
+    }
+  }
+  if (extra_rows.empty()) return g;
+
+  Graph mended;
+  mended.adj = CsrFromUndirectedEdges(next_id, new_edges);
+  mended.features = Matrix(next_id, f);
+  for (int32_t u = 0; u < n; ++u) {
+    std::copy(g.features.row(u), g.features.row(u) + f,
+              mended.features.row(u));
+  }
+  for (size_t i = 0; i < extra_rows.size(); ++i) {
+    std::copy(extra_rows[i].begin(), extra_rows[i].end(),
+              mended.features.row(n + static_cast<int64_t>(i)));
+  }
+  mended.labels = g.labels;
+  mended.labels.insert(mended.labels.end(), extra_labels.begin(),
+                       extra_labels.end());
+  mended.num_classes = g.num_classes;
+  mended.train_nodes = g.train_nodes;
+  mended.val_nodes = g.val_nodes;
+  mended.test_nodes = g.test_nodes;
+  return mended;
+}
+
+FedRunResult RunFedSagePlus(const FederatedDataset& data,
+                            const FedConfig& config,
+                            const FedSageOptions& options) {
+  // Server-shared feature moments (the cross-client signal NeighGen uses).
+  int64_t f = 0;
+  for (const Graph& c : data.clients) f = std::max(f, c.feature_dim());
+  Matrix feature_mean(1, f);
+  int64_t total_nodes = 0;
+  for (const Graph& c : data.clients) {
+    for (int32_t u = 0; u < c.num_nodes(); ++u) {
+      for (int64_t j = 0; j < f; ++j) feature_mean(0, j) += c.features(u, j);
+    }
+    total_nodes += c.num_nodes();
+  }
+  for (int64_t j = 0; j < f; ++j) {
+    feature_mean(0, j) /= static_cast<float>(std::max<int64_t>(1, total_nodes));
+  }
+
+  // Mend every client's graph, then run plain FedAvg on the mended copies.
+  FederatedDataset mended = data;
+  Rng rng(config.seed ^ 0x5a9eULL);
+  int64_t mend_bytes = 0;
+  for (size_t c = 0; c < mended.clients.size(); ++c) {
+    Rng client_rng = rng.Fork(c);
+    mended.clients[c] = MendGraphWithNeighGen(data.clients[c], options,
+                                              feature_mean, client_rng);
+    // NeighGen params + shared moments per client.
+    mend_bytes += (64 * (f + 1 + f) + f) * static_cast<int64_t>(sizeof(float));
+  }
+  FedRunResult result = RunFedAvg(mended, config);
+  result.bytes_up += mend_bytes;
+  result.bytes_down += mend_bytes;
+  return result;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,41 @@
+#ifndef ADAFGL_FED_FEDSAGE_H_
+#define ADAFGL_FED_FEDSAGE_H_
+
+#include "fed/federation.h"
+
+namespace adafgl {
+
+/// Knobs of the NeighGen missing-neighbour generator.
+struct FedSageOptions {
+  /// Fraction of local edges hidden to form the impaired training graph.
+  double hide_ratio = 0.25;
+  /// NeighGen training epochs.
+  int neighgen_epochs = 40;
+  /// Maximum generated neighbours per node.
+  int max_generated = 2;
+  float neighgen_lr = 0.01f;
+};
+
+/// \brief FedSage+ (Zhang et al., 2021), mechanism-level reimplementation.
+///
+/// Each client trains a *NeighGen* — an encoder over an edge-impaired copy
+/// of its subgraph with two heads predicting (a) the number of missing
+/// neighbours per node and (b) their mean feature — then mends its local
+/// graph with generated nodes before standard federated training of the
+/// classifier. The original's cross-client NeighGen gradient exchange is
+/// replaced by server-shared feature moments used to regularise generated
+/// features (documented in DESIGN.md §4); communication counts NeighGen
+/// parameters and the shared moments.
+FedRunResult RunFedSagePlus(const FederatedDataset& data,
+                            const FedConfig& config,
+                            const FedSageOptions& options = {});
+
+/// Exposed for tests: mends one graph with NeighGen. `feature_mean` is the
+/// server-shared cross-client feature mean (may be empty to skip the
+/// regulariser); returns the augmented graph.
+Graph MendGraphWithNeighGen(const Graph& g, const FedSageOptions& options,
+                            const Matrix& feature_mean, Rng& rng);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_FEDSAGE_H_

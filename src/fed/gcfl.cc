@@ -1,0 +1,184 @@
+#include "fed/gcfl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Flattens a weight-delta list into one vector for similarity computation.
+std::vector<float> Flatten(const std::vector<Matrix>& mats) {
+  std::vector<float> out;
+  int64_t total = 0;
+  for (const Matrix& m : mats) total += m.size();
+  out.reserve(static_cast<size_t>(total));
+  for (const Matrix& m : mats) {
+    out.insert(out.end(), m.data(), m.data() + m.size());
+  }
+  return out;
+}
+
+double Norm(const std::vector<float>& v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  ADAFGL_CHECK(a.size() == b.size());
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  const double na = Norm(a), nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return dot / (na * nb);
+}
+
+/// Mean of the recent update window (the per-client gradient signature).
+std::vector<float> Signature(const std::deque<std::vector<float>>& window) {
+  ADAFGL_CHECK(!window.empty());
+  std::vector<float> sig(window.front().size(), 0.0f);
+  for (const auto& u : window) {
+    for (size_t i = 0; i < sig.size(); ++i) sig[i] += u[i];
+  }
+  const float inv = 1.0f / static_cast<float>(window.size());
+  for (float& x : sig) x *= inv;
+  return sig;
+}
+
+}  // namespace
+
+FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
+                         const GcflOptions& options) {
+  std::vector<std::unique_ptr<FedClient>> clients =
+      MakeClients(data, config);
+  const auto n = static_cast<int32_t>(clients.size());
+  ADAFGL_CHECK(n > 0);
+
+  FedRunResult result;
+  const int64_t param_bytes = clients[0]->ParamBytes();
+  // Cluster id per client; one cluster initially.
+  std::vector<int32_t> cluster(static_cast<size_t>(n), 0);
+  int32_t num_clusters = 1;
+  // Per-cluster aggregated weights.
+  std::vector<std::vector<Matrix>> cluster_weights = {clients[0]->Weights()};
+  std::vector<std::deque<std::vector<float>>> windows(
+      static_cast<size_t>(n));
+
+  for (int round = 1; round <= config.rounds; ++round) {
+    // Broadcast per-cluster weights, train everyone, collect updates.
+    std::vector<std::vector<Matrix>> uploads(static_cast<size_t>(n));
+    std::vector<std::vector<float>> updates(static_cast<size_t>(n));
+    double loss_sum = 0.0;
+    for (int32_t c = 0; c < n; ++c) {
+      FedClient& client = *clients[static_cast<size_t>(c)];
+      client.SetGlobalWeights(
+          cluster_weights[static_cast<size_t>(cluster[static_cast<size_t>(c)])]);
+      loss_sum += client.TrainEpochs(config.local_epochs);
+      uploads[static_cast<size_t>(c)] = client.Weights();
+      updates[static_cast<size_t>(c)] = Flatten(client.last_delta());
+      auto& w = windows[static_cast<size_t>(c)];
+      w.push_back(updates[static_cast<size_t>(c)]);
+      while (static_cast<int>(w.size()) > options.window) w.pop_front();
+      result.bytes_up += param_bytes * 2;  // Weights + gradient signature.
+      result.bytes_down += param_bytes;
+    }
+
+    // Per-cluster aggregation.
+    cluster_weights.assign(static_cast<size_t>(num_clusters), {});
+    for (int32_t k = 0; k < num_clusters; ++k) {
+      std::vector<std::vector<Matrix>> members;
+      std::vector<double> sizes;
+      for (int32_t c = 0; c < n; ++c) {
+        if (cluster[static_cast<size_t>(c)] != k) continue;
+        members.push_back(uploads[static_cast<size_t>(c)]);
+        sizes.push_back(static_cast<double>(std::max<int64_t>(
+            1, clients[static_cast<size_t>(c)]->num_train())));
+      }
+      ADAFGL_CHECK(!members.empty());
+      cluster_weights[static_cast<size_t>(k)] =
+          AverageWeights(members, sizes);
+    }
+
+    // GCFL split criterion per cluster.
+    for (int32_t k = 0; k < num_clusters; ++k) {
+      std::vector<int32_t> members;
+      for (int32_t c = 0; c < n; ++c) {
+        if (cluster[static_cast<size_t>(c)] == k) members.push_back(c);
+      }
+      if (members.size() < 3) continue;
+      double mean_norm = 0.0, max_norm = 0.0;
+      for (int32_t c : members) {
+        const double nn = Norm(updates[static_cast<size_t>(c)]);
+        mean_norm += nn;
+        max_norm = std::max(max_norm, nn);
+      }
+      mean_norm /= static_cast<double>(members.size());
+      if (!(mean_norm < options.eps1 && max_norm > options.eps2)) continue;
+
+      // Bipartition by signature cosine: seeds = most dissimilar pair.
+      std::vector<std::vector<float>> sigs;
+      sigs.reserve(members.size());
+      for (int32_t c : members) {
+        sigs.push_back(Signature(windows[static_cast<size_t>(c)]));
+      }
+      size_t seed_a = 0, seed_b = 1;
+      double worst = 2.0;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const double s = Cosine(sigs[i], sigs[j]);
+          if (s < worst) {
+            worst = s;
+            seed_a = i;
+            seed_b = j;
+          }
+        }
+      }
+      if (worst > 0.5) continue;  // Cluster is still coherent.
+      const int32_t new_cluster = num_clusters++;
+      cluster_weights.push_back(cluster_weights[static_cast<size_t>(k)]);
+      for (size_t i = 0; i < members.size(); ++i) {
+        const double sa = Cosine(sigs[i], sigs[seed_a]);
+        const double sb = Cosine(sigs[i], sigs[seed_b]);
+        if (sb > sa) {
+          cluster[static_cast<size_t>(members[i])] = new_cluster;
+        }
+      }
+    }
+
+    if (round % config.eval_every == 0 || round == config.rounds) {
+      for (int32_t c = 0; c < n; ++c) {
+        clients[static_cast<size_t>(c)]->SetGlobalWeights(
+            cluster_weights[static_cast<size_t>(
+                cluster[static_cast<size_t>(c)])]);
+      }
+      RoundRecord rec;
+      rec.round = round;
+      rec.test_acc = WeightedTestAccuracy(clients);
+      rec.train_loss = loss_sum / std::max(1, n);
+      result.history.push_back(rec);
+    }
+  }
+
+  for (int32_t c = 0; c < n; ++c) {
+    FedClient& client = *clients[static_cast<size_t>(c)];
+    client.SetGlobalWeights(
+        cluster_weights[static_cast<size_t>(cluster[static_cast<size_t>(c)])]);
+    if (config.post_local_epochs > 0) {
+      client.TrainEpochs(config.post_local_epochs);
+    }
+  }
+  result.global_weights = cluster_weights[0];
+  for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
+  result.final_test_acc = WeightedTestAccuracy(clients);
+  return result;
+}
+
+}  // namespace adafgl

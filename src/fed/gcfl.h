@@ -1,0 +1,30 @@
+#ifndef ADAFGL_FED_GCFL_H_
+#define ADAFGL_FED_GCFL_H_
+
+#include "fed/federation.h"
+
+namespace adafgl {
+
+/// Tuning knobs of the GCFL+ clustering criterion.
+struct GcflOptions {
+  /// Split a cluster when its mean update norm drops below eps1 ...
+  float eps1 = 0.05f;
+  /// ... while its max update norm still exceeds eps2 (clients disagree).
+  float eps2 = 0.1f;
+  /// Window of recent per-client updates whose mean forms the gradient
+  /// signature (the "+" sequence variant; stands in for DTW over series).
+  int window = 5;
+};
+
+/// \brief GCFL+ (Xie et al., 2021), mechanism-level reimplementation.
+///
+/// Server-side *gradient clustering*: clients are dynamically bipartitioned
+/// by the cosine similarity of their recent weight-update signatures when
+/// the GCFL criterion fires (small mean update, large max update), and
+/// FedAvg aggregation is performed per cluster.
+FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
+                         const GcflOptions& options = {});
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_GCFL_H_

@@ -1,0 +1,134 @@
+#include "fed/splits.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "partition/louvain.h"
+#include "partition/metis_like.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+int64_t FederatedDataset::TotalTrainNodes() const {
+  int64_t total = 0;
+  for (const Graph& c : clients) {
+    total += static_cast<int64_t>(c.train_nodes.size());
+  }
+  return total;
+}
+
+namespace {
+
+FederatedDataset BuildFromAssignment(const Graph& g,
+                                     const std::vector<int32_t>& assignment,
+                                     int32_t num_clients) {
+  std::vector<std::vector<int32_t>> members(
+      static_cast<size_t>(num_clients));
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    const int32_t c = assignment[static_cast<size_t>(v)];
+    ADAFGL_CHECK(c >= 0 && c < num_clients);
+    members[static_cast<size_t>(c)].push_back(v);
+  }
+  FederatedDataset fd;
+  fd.clients.reserve(static_cast<size_t>(num_clients));
+  fd.global_ids.reserve(static_cast<size_t>(num_clients));
+  for (int32_t c = 0; c < num_clients; ++c) {
+    ADAFGL_CHECK(!members[static_cast<size_t>(c)].empty());
+    std::vector<int32_t> ids;
+    fd.clients.push_back(
+        InducedSubgraph(g, members[static_cast<size_t>(c)], &ids));
+    fd.global_ids.push_back(std::move(ids));
+  }
+  return fd;
+}
+
+}  // namespace
+
+FederatedDataset CommunitySplit(const Graph& g, int32_t num_clients,
+                                Rng& rng) {
+  ADAFGL_CHECK(num_clients > 0 && g.num_nodes() >= num_clients);
+  const std::vector<int32_t> community = Louvain(g.adj, rng);
+  const int32_t num_comm =
+      1 + *std::max_element(community.begin(), community.end());
+
+  // Community sizes, largest first.
+  std::vector<int64_t> size(static_cast<size_t>(num_comm), 0);
+  for (int32_t c : community) ++size[static_cast<size_t>(c)];
+  std::vector<int32_t> order(static_cast<size_t>(num_comm));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return size[static_cast<size_t>(a)] > size[static_cast<size_t>(b)];
+  });
+
+  // Node-average principle: each community joins the lightest client.
+  std::vector<int32_t> comm_to_client(static_cast<size_t>(num_comm), 0);
+  std::vector<int64_t> load(static_cast<size_t>(num_clients), 0);
+  for (int32_t c : order) {
+    int32_t lightest = 0;
+    for (int32_t i = 1; i < num_clients; ++i) {
+      if (load[static_cast<size_t>(i)] < load[static_cast<size_t>(lightest)]) {
+        lightest = i;
+      }
+    }
+    comm_to_client[static_cast<size_t>(c)] = lightest;
+    load[static_cast<size_t>(lightest)] += size[static_cast<size_t>(c)];
+  }
+
+  std::vector<int32_t> assignment(community.size());
+  for (size_t v = 0; v < community.size(); ++v) {
+    assignment[v] = comm_to_client[static_cast<size_t>(community[v])];
+  }
+  // Guard against empty clients (fewer communities than clients): move
+  // single nodes from the largest client.
+  std::vector<int64_t> counts(static_cast<size_t>(num_clients), 0);
+  for (int32_t a : assignment) ++counts[static_cast<size_t>(a)];
+  for (int32_t c = 0; c < num_clients; ++c) {
+    while (counts[static_cast<size_t>(c)] == 0) {
+      int32_t donor = static_cast<int32_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      for (size_t v = 0; v < assignment.size(); ++v) {
+        if (assignment[v] == donor) {
+          assignment[v] = c;
+          --counts[static_cast<size_t>(donor)];
+          ++counts[static_cast<size_t>(c)];
+          break;
+        }
+      }
+    }
+  }
+  return BuildFromAssignment(g, assignment, num_clients);
+}
+
+FederatedDataset StructureNonIidSplit(const Graph& g, int32_t num_clients,
+                                      InjectionMode mode, double ratio,
+                                      Rng& rng) {
+  ADAFGL_CHECK(num_clients > 0 && g.num_nodes() >= num_clients);
+  const std::vector<int32_t> part = MetisLikePartition(g.adj, num_clients, rng);
+  FederatedDataset fd = BuildFromAssignment(g, part, num_clients);
+  if (mode == InjectionMode::kNone) return fd;
+
+  fd.injections.reserve(fd.clients.size());
+  for (size_t c = 0; c < fd.clients.size(); ++c) {
+    // Binary selection with p_s = 0.5 (Definition 1).
+    const InjectionType type = rng.Bernoulli(0.5)
+                                   ? InjectionType::kHomophilous
+                                   : InjectionType::kHeterophilous;
+    fd.injections.push_back(type);
+    Rng client_rng = rng.Fork(c);
+    if (type == InjectionType::kHomophilous) {
+      fd.clients[c] = RandomInjection(fd.clients[c],
+                                      InjectionType::kHomophilous, ratio,
+                                      client_rng);
+    } else if (mode == InjectionMode::kRandom) {
+      fd.clients[c] = RandomInjection(fd.clients[c],
+                                      InjectionType::kHeterophilous, ratio,
+                                      client_rng);
+    } else {
+      fd.clients[c] = MetaInjection(fd.clients[c], /*budget_ratio=*/0.2,
+                                    client_rng);
+    }
+  }
+  return fd;
+}
+
+}  // namespace adafgl

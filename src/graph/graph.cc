@@ -1,0 +1,90 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Graph MakeGraph(int32_t num_nodes,
+                const std::vector<std::pair<int32_t, int32_t>>& edges,
+                Matrix features, std::vector<int32_t> labels,
+                int32_t num_classes) {
+  ADAFGL_CHECK(features.rows() == num_nodes);
+  ADAFGL_CHECK(static_cast<int32_t>(labels.size()) == num_nodes);
+  Graph g;
+  g.adj = CsrFromUndirectedEdges(num_nodes, edges);
+  g.features = std::move(features);
+  g.labels = std::move(labels);
+  g.num_classes = num_classes;
+  for (int32_t y : g.labels) ADAFGL_CHECK(y >= 0 && y < num_classes);
+  return g;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<int32_t>& nodes,
+                      std::vector<int32_t>* global_ids) {
+  const int32_t n = static_cast<int32_t>(nodes.size());
+  std::unordered_map<int32_t, int32_t> local;
+  local.reserve(nodes.size());
+  for (int32_t i = 0; i < n; ++i) {
+    ADAFGL_CHECK(nodes[static_cast<size_t>(i)] >= 0 &&
+                 nodes[static_cast<size_t>(i)] < g.num_nodes());
+    local[nodes[static_cast<size_t>(i)]] = i;
+  }
+  ADAFGL_CHECK(static_cast<int32_t>(local.size()) == n);  // Unique ids.
+
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t u = nodes[static_cast<size_t>(i)];
+    g.adj.ForEachInRow(u, [&](int32_t v, float) {
+      auto it = local.find(v);
+      if (it != local.end() && u < v) edges.emplace_back(i, it->second);
+    });
+  }
+
+  Graph sub;
+  sub.adj = CsrFromUndirectedEdges(n, edges);
+  sub.features = GatherRows(g.features, nodes);
+  sub.labels.resize(static_cast<size_t>(n));
+  sub.num_classes = g.num_classes;
+  for (int32_t i = 0; i < n; ++i) {
+    sub.labels[static_cast<size_t>(i)] =
+        g.labels[static_cast<size_t>(nodes[static_cast<size_t>(i)])];
+  }
+
+  // Inherit split membership.
+  std::vector<uint8_t> role(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t v : g.train_nodes) role[static_cast<size_t>(v)] = 1;
+  for (int32_t v : g.val_nodes) role[static_cast<size_t>(v)] = 2;
+  for (int32_t v : g.test_nodes) role[static_cast<size_t>(v)] = 3;
+  for (int32_t i = 0; i < n; ++i) {
+    switch (role[static_cast<size_t>(nodes[static_cast<size_t>(i)])]) {
+      case 1: sub.train_nodes.push_back(i); break;
+      case 2: sub.val_nodes.push_back(i); break;
+      case 3: sub.test_nodes.push_back(i); break;
+      default: break;
+    }
+  }
+
+  if (global_ids != nullptr) *global_ids = nodes;
+  return sub;
+}
+
+std::vector<std::pair<int32_t, int32_t>> UndirectedEdges(const CsrMatrix& adj) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  edges.reserve(static_cast<size_t>(adj.nnz() / 2));
+  for (int32_t u = 0; u < adj.rows(); ++u) {
+    adj.ForEachInRow(u, [&](int32_t v, float) {
+      if (u < v) edges.emplace_back(u, v);
+    });
+  }
+  return edges;
+}
+
+CsrMatrix GcnNormalized(const CsrMatrix& adj) {
+  return adj.WithSelfLoops().Normalized(0.5f);
+}
+
+}  // namespace adafgl

@@ -1,0 +1,59 @@
+#ifndef ADAFGL_GRAPH_GRAPH_H_
+#define ADAFGL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace adafgl {
+
+/// \brief An attributed, labeled, undirected graph with train/val/test
+/// splits — the unit of data every model and federated client operates on.
+///
+/// Invariants maintained by the builders in this module:
+///  * `adj` is symmetric and binary (value 1.0 per stored edge), without
+///    self loops;
+///  * `features` has `num_nodes()` rows;
+///  * `labels[i]` in [0, num_classes);
+///  * the three split vectors hold disjoint node ids.
+struct Graph {
+  CsrMatrix adj;
+  Matrix features;
+  std::vector<int32_t> labels;
+  int32_t num_classes = 0;
+
+  std::vector<int32_t> train_nodes;
+  std::vector<int32_t> val_nodes;
+  std::vector<int32_t> test_nodes;
+
+  int32_t num_nodes() const { return adj.rows(); }
+  /// Number of undirected edges (each stored twice in `adj`).
+  int64_t num_edges() const { return adj.nnz() / 2; }
+  int64_t feature_dim() const { return features.cols(); }
+};
+
+/// Builds a graph from an undirected edge list plus attributes.
+Graph MakeGraph(int32_t num_nodes,
+                const std::vector<std::pair<int32_t, int32_t>>& edges,
+                Matrix features, std::vector<int32_t> labels,
+                int32_t num_classes);
+
+/// Extracts the node-induced subgraph on `nodes` (local ids follow the order
+/// of `nodes`); split membership is inherited from the parent graph.
+/// `global_ids`, when non-null, receives the parent id of each local node.
+Graph InducedSubgraph(const Graph& g, const std::vector<int32_t>& nodes,
+                      std::vector<int32_t>* global_ids = nullptr);
+
+/// Returns the undirected edge list (u < v) of a graph's adjacency.
+std::vector<std::pair<int32_t, int32_t>> UndirectedEdges(const CsrMatrix& adj);
+
+/// Symmetric-normalised adjacency with self loops: D^-1/2 (A + I) D^-1/2.
+/// The canonical GCN operator (Eq. 1 with r = 1/2).
+CsrMatrix GcnNormalized(const CsrMatrix& adj);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_GRAPH_GRAPH_H_

@@ -1,0 +1,164 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace adafgl {
+
+namespace {
+
+Status ParseError(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+}  // namespace
+
+Result<Graph> ParseGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  int32_t num_nodes = -1;
+  int64_t feature_dim = -1;
+  int32_t num_classes = -1;
+  Matrix features;
+  std::vector<int32_t> labels;
+  std::vector<uint8_t> node_seen;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  std::vector<int32_t> train, val, test;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // Blank line.
+
+    if (tag == "header") {
+      if (num_nodes != -1) return ParseError(line_no, "duplicate header");
+      if (!(ls >> num_nodes >> feature_dim >> num_classes)) {
+        return ParseError(line_no, "malformed header");
+      }
+      if (num_nodes <= 0 || feature_dim < 0 || num_classes <= 0) {
+        return ParseError(line_no, "non-positive header fields");
+      }
+      features = Matrix(num_nodes, feature_dim);
+      labels.assign(static_cast<size_t>(num_nodes), 0);
+      node_seen.assign(static_cast<size_t>(num_nodes), 0);
+      continue;
+    }
+    if (num_nodes == -1) {
+      return ParseError(line_no, "'" + tag + "' before header");
+    }
+
+    if (tag == "node") {
+      int32_t id, label;
+      if (!(ls >> id >> label)) {
+        return ParseError(line_no, "malformed node line");
+      }
+      if (id < 0 || id >= num_nodes) {
+        return ParseError(line_no, "node id out of range");
+      }
+      if (label < 0 || label >= num_classes) {
+        return ParseError(line_no, "label out of range");
+      }
+      if (node_seen[static_cast<size_t>(id)]) {
+        return ParseError(line_no, "duplicate node id");
+      }
+      node_seen[static_cast<size_t>(id)] = 1;
+      labels[static_cast<size_t>(id)] = label;
+      for (int64_t j = 0; j < feature_dim; ++j) {
+        float v;
+        if (!(ls >> v)) return ParseError(line_no, "missing feature value");
+        features(id, j) = v;
+      }
+    } else if (tag == "edge") {
+      int32_t u, v;
+      if (!(ls >> u >> v)) return ParseError(line_no, "malformed edge line");
+      if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+        return ParseError(line_no, "edge endpoint out of range");
+      }
+      edges.emplace_back(u, v);
+    } else if (tag == "split") {
+      std::string kind;
+      if (!(ls >> kind)) return ParseError(line_no, "missing split kind");
+      std::vector<int32_t>* target = kind == "train" ? &train
+                                     : kind == "val" ? &val
+                                     : kind == "test" ? &test
+                                                      : nullptr;
+      if (target == nullptr) {
+        return ParseError(line_no, "unknown split kind '" + kind + "'");
+      }
+      int32_t id;
+      while (ls >> id) {
+        if (id < 0 || id >= num_nodes) {
+          return ParseError(line_no, "split id out of range");
+        }
+        target->push_back(id);
+      }
+    } else {
+      return ParseError(line_no, "unknown tag '" + tag + "'");
+    }
+  }
+  if (num_nodes == -1) return Status::InvalidArgument("missing header");
+  for (int32_t id = 0; id < num_nodes; ++id) {
+    if (!node_seen[static_cast<size_t>(id)]) {
+      return Status::InvalidArgument("node " + std::to_string(id) +
+                                     " has no node line");
+    }
+  }
+
+  Graph g = MakeGraph(num_nodes, edges, std::move(features),
+                      std::move(labels), num_classes);
+  g.train_nodes = std::move(train);
+  g.val_nodes = std::move(val);
+  g.test_nodes = std::move(test);
+  return g;
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseGraph(buffer.str());
+}
+
+std::string SerializeGraph(const Graph& g) {
+  std::ostringstream out;
+  out << "header " << g.num_nodes() << " " << g.feature_dim() << " "
+      << g.num_classes << "\n";
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    out << "node " << v << " " << g.labels[static_cast<size_t>(v)];
+    for (int64_t j = 0; j < g.feature_dim(); ++j) {
+      out << " " << g.features(v, j);
+    }
+    out << "\n";
+  }
+  for (const auto& [u, v] : UndirectedEdges(g.adj)) {
+    out << "edge " << u << " " << v << "\n";
+  }
+  auto write_split = [&](const char* kind, const std::vector<int32_t>& ids) {
+    if (ids.empty()) return;
+    out << "split " << kind;
+    for (int32_t id : ids) out << " " << id;
+    out << "\n";
+  };
+  write_split("train", g.train_nodes);
+  write_split("val", g.val_nodes);
+  write_split("test", g.test_nodes);
+  return out.str();
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  out << SerializeGraph(g);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for '" + path + "'");
+}
+
+}  // namespace adafgl

@@ -1,0 +1,40 @@
+#ifndef ADAFGL_GRAPH_IO_H_
+#define ADAFGL_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief Plain-text graph serialization for bringing real datasets into
+/// the pipeline (and for shipping synthetic ones out).
+///
+/// Format (single file, whitespace-separated, '#' comments allowed):
+///
+///   header  <num_nodes> <feature_dim> <num_classes>
+///   node    <id> <label> <f_0> ... <f_{dim-1}>     (one per node)
+///   edge    <u> <v>                                 (undirected)
+///   split   <train|val|test> <id> [id ...]          (repeatable)
+///
+/// All ids must be in [0, num_nodes). Every node line must appear exactly
+/// once. Malformed input returns InvalidArgument with a line number; no
+/// exceptions are thrown.
+
+/// Parses a graph from a file on disk.
+Result<Graph> LoadGraphFromFile(const std::string& path);
+
+/// Parses a graph from an in-memory string (exposed for tests).
+Result<Graph> ParseGraph(const std::string& text);
+
+/// Writes a graph in the same format. Returns an error if the file cannot
+/// be opened for writing.
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+
+/// Serializes a graph to the text format (exposed for tests).
+std::string SerializeGraph(const Graph& g);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_GRAPH_IO_H_

@@ -1,0 +1,111 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+double NodeHomophily(const CsrMatrix& adj,
+                     const std::vector<int32_t>& labels) {
+  ADAFGL_CHECK(static_cast<int32_t>(labels.size()) == adj.rows());
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int32_t u = 0; u < adj.rows(); ++u) {
+    int64_t deg = 0;
+    int64_t same = 0;
+    adj.ForEachInRow(u, [&](int32_t v, float) {
+      if (v == u) return;  // Ignore self loops.
+      ++deg;
+      if (labels[static_cast<size_t>(v)] == labels[static_cast<size_t>(u)]) {
+        ++same;
+      }
+    });
+    if (deg == 0) continue;
+    total += static_cast<double>(same) / static_cast<double>(deg);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double EdgeHomophily(const CsrMatrix& adj,
+                     const std::vector<int32_t>& labels) {
+  ADAFGL_CHECK(static_cast<int32_t>(labels.size()) == adj.rows());
+  int64_t edges = 0;
+  int64_t same = 0;
+  for (int32_t u = 0; u < adj.rows(); ++u) {
+    adj.ForEachInRow(u, [&](int32_t v, float) {
+      if (v <= u) return;
+      ++edges;
+      if (labels[static_cast<size_t>(v)] == labels[static_cast<size_t>(u)]) {
+        ++same;
+      }
+    });
+  }
+  return edges == 0 ? 0.0
+                    : static_cast<double>(same) / static_cast<double>(edges);
+}
+
+std::vector<int64_t> LabelHistogram(const std::vector<int32_t>& labels,
+                                    int32_t num_classes) {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (int32_t y : labels) {
+    ADAFGL_CHECK(y >= 0 && y < num_classes);
+    ++hist[static_cast<size_t>(y)];
+  }
+  return hist;
+}
+
+double Modularity(const CsrMatrix& adj,
+                  const std::vector<int32_t>& community) {
+  ADAFGL_CHECK(static_cast<int32_t>(community.size()) == adj.rows());
+  const double two_m = static_cast<double>(adj.nnz());
+  if (two_m == 0.0) return 0.0;
+  // Q = (1/2m) sum_ij [A_ij - k_i k_j / 2m] delta(c_i, c_j)
+  //   = sum_c (in_c / 2m - (tot_c / 2m)^2)
+  int32_t max_c = 0;
+  for (int32_t c : community) max_c = std::max(max_c, c);
+  std::vector<double> in(static_cast<size_t>(max_c) + 1, 0.0);
+  std::vector<double> tot(static_cast<size_t>(max_c) + 1, 0.0);
+  for (int32_t u = 0; u < adj.rows(); ++u) {
+    const int32_t cu = community[static_cast<size_t>(u)];
+    adj.ForEachInRow(u, [&](int32_t v, float w) {
+      tot[static_cast<size_t>(cu)] += w;
+      if (community[static_cast<size_t>(v)] == cu) {
+        in[static_cast<size_t>(cu)] += w;
+      }
+    });
+  }
+  double q = 0.0;
+  for (size_t c = 0; c < in.size(); ++c) {
+    q += in[c] / two_m - (tot[c] / two_m) * (tot[c] / two_m);
+  }
+  return q;
+}
+
+int64_t EdgeCut(const CsrMatrix& adj, const std::vector<int32_t>& part) {
+  ADAFGL_CHECK(static_cast<int32_t>(part.size()) == adj.rows());
+  int64_t cut = 0;
+  for (int32_t u = 0; u < adj.rows(); ++u) {
+    adj.ForEachInRow(u, [&](int32_t v, float) {
+      if (v > u && part[static_cast<size_t>(u)] != part[static_cast<size_t>(v)]) {
+        ++cut;
+      }
+    });
+  }
+  return cut;
+}
+
+double PartitionImbalance(const std::vector<int32_t>& part, int32_t k) {
+  ADAFGL_CHECK(k > 0);
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  for (int32_t p : part) {
+    ADAFGL_CHECK(p >= 0 && p < k);
+    ++sizes[static_cast<size_t>(p)];
+  }
+  const int64_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  return static_cast<double>(max_size) * k /
+         std::max<double>(1.0, static_cast<double>(part.size()));
+}
+
+}  // namespace adafgl

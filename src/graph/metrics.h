@@ -1,0 +1,35 @@
+#ifndef ADAFGL_GRAPH_METRICS_H_
+#define ADAFGL_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace adafgl {
+
+/// Node homophily H_node (Eq. 2): mean over nodes of the fraction of
+/// same-label one-hop neighbours. Isolated nodes are skipped.
+double NodeHomophily(const CsrMatrix& adj, const std::vector<int32_t>& labels);
+
+/// Edge homophily H_edge (Eq. 2): fraction of edges whose endpoints share a
+/// label. Returns 0 for edgeless graphs.
+double EdgeHomophily(const CsrMatrix& adj, const std::vector<int32_t>& labels);
+
+/// Per-class node counts (length num_classes). Used for the Fig. 2(a)
+/// label-distribution heatmap.
+std::vector<int64_t> LabelHistogram(const std::vector<int32_t>& labels,
+                                    int32_t num_classes);
+
+/// Modularity of a partition (community assignment per node) under the
+/// standard Newman-Girvan definition. Used to validate Louvain.
+double Modularity(const CsrMatrix& adj, const std::vector<int32_t>& community);
+
+/// Number of edges whose endpoints fall in different parts.
+int64_t EdgeCut(const CsrMatrix& adj, const std::vector<int32_t>& part);
+
+/// max_part_size * k / n — 1.0 means perfectly balanced.
+double PartitionImbalance(const std::vector<int32_t>& part, int32_t k);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_GRAPH_METRICS_H_

@@ -1,0 +1,34 @@
+#include "nn/layers.h"
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, float dropout, Rng& rng)
+    : dropout_(dropout) {
+  ADAFGL_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng& rng) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = ops::Dropout(h, dropout_, training, rng);
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ops::Relu(h);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::Params() const {
+  std::vector<Tensor> out;
+  for (const Linear& l : layers_) {
+    for (const Tensor& p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace adafgl

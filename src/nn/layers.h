@@ -1,0 +1,67 @@
+#ifndef ADAFGL_NN_LAYERS_H_
+#define ADAFGL_NN_LAYERS_H_
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adafgl {
+
+/// \brief Fully-connected layer y = x W + b with Glorot initialisation.
+///
+/// Optionally carries a FED-PUB-style sparse mask: when enabled, the
+/// effective weight is W ⊙ sigmoid(M) and M is a trainable parameter.
+class Linear {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool with_mask = false)
+      : weight_(MakeParam(Matrix::Glorot(in_dim, out_dim, rng))),
+        bias_(MakeParam(Matrix(1, out_dim))) {
+    if (with_mask) {
+      // Start near-open gates (sigmoid(3) ~ 0.95).
+      mask_ = MakeParam(Matrix::Constant(in_dim, out_dim, 3.0f));
+    }
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    Tensor w = weight_;
+    if (mask_ != nullptr) w = ops::Mul(weight_, ops::Sigmoid(mask_));
+    return ops::AddBias(ops::MatMul(x, w), bias_);
+  }
+
+  /// Trainable tensors (weight, bias, and mask when present).
+  std::vector<Tensor> Params() const {
+    std::vector<Tensor> p = {weight_, bias_};
+    if (mask_ != nullptr) p.push_back(mask_);
+    return p;
+  }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  const Tensor& mask() const { return mask_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  Tensor mask_;  // Null unless with_mask.
+};
+
+/// \brief Multi-layer perceptron with ReLU + dropout between layers.
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; at least two entries.
+  Mlp(const std::vector<int64_t>& dims, float dropout, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training, Rng& rng) const;
+
+  std::vector<Tensor> Params() const;
+
+ private:
+  std::vector<Linear> layers_;
+  float dropout_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_NN_LAYERS_H_

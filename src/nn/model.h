@@ -1,0 +1,88 @@
+#ifndef ADAFGL_NN_MODEL_H_
+#define ADAFGL_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adafgl {
+
+/// \brief Immutable view of one graph prepared for model forward passes:
+/// the graph plus its cached normalised operator and feature tensor.
+///
+/// Built once per client (and once more for the train-induced subgraph in
+/// inductive mode) so repeated epochs don't re-normalise the adjacency.
+struct GraphContext {
+  const Graph* graph = nullptr;
+  /// D^-1/2 (A+I) D^-1/2 — shared so SpMM nodes keep it alive.
+  std::shared_ptr<CsrMatrix> norm_adj;
+  /// Features as a constant leaf tensor.
+  Tensor x;
+
+  static GraphContext Create(const Graph& g) {
+    GraphContext ctx;
+    ctx.graph = &g;
+    ctx.norm_adj = std::make_shared<CsrMatrix>(GcnNormalized(g.adj));
+    ctx.x = MakeConst(g.features);
+    return ctx;
+  }
+};
+
+/// \brief Common interface of every node-classification model in the zoo.
+///
+/// A model owns its parameters (trainable leaf tensors). `Forward` builds a
+/// fresh autograd graph and returns raw class logits (n x num_classes).
+/// Models are architecture-identical across federated clients, so FedAvg
+/// can average `Params()` value-for-value.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Logits for every node of `ctx`. `training` enables dropout; `rng`
+  /// drives it.
+  virtual Tensor Forward(const GraphContext& ctx, bool training,
+                         Rng& rng) = 0;
+
+  /// All trainable parameter tensors, in a stable order.
+  virtual std::vector<Tensor> Params() = 0;
+
+  /// Human-readable architecture name ("GCN", "GloGNN", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Shared hyperparameters for the zoo (paper Sec. IV-A defaults).
+struct ModelConfig {
+  int64_t in_dim = 0;
+  int32_t num_classes = 0;
+  int64_t hidden = 64;
+  float dropout = 0.5f;
+  int num_layers = 2;     ///< Depth for deep models (GCNII).
+  int num_hops = 3;       ///< Propagation steps (SGC/GAMLP/GPR-GNN).
+  int64_t low_rank = 8;   ///< Rank of GloGNN's global affinity factors.
+};
+
+/// Creates a model by registry name: MLP, GCN, SGC, GCNII, GAMLP, GPRGNN,
+/// GGCN, GloGNN. Aborts on unknown names (programming error).
+std::unique_ptr<Model> CreateModel(const std::string& name,
+                                   const ModelConfig& config, Rng& rng);
+
+/// Names accepted by CreateModel, in canonical order.
+std::vector<std::string> ModelZooNames();
+
+/// Copies of all parameter values (for FedAvg upload).
+std::vector<Matrix> GetWeights(Model& model);
+
+/// Overwrites parameter values (for FedAvg broadcast). Shapes must match.
+void SetWeights(Model& model, const std::vector<Matrix>& weights);
+
+/// Total number of scalar parameters (communication accounting).
+int64_t ParameterCount(Model& model);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_NN_MODEL_H_

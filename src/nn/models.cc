@@ -1,0 +1,343 @@
+#include "nn/models.h"
+
+#include <cmath>
+
+#include "tensor/matrix_ops.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+Tensor ScalarParam(float v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return MakeParam(std::move(m));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MlpModel
+
+MlpModel::MlpModel(const ModelConfig& config, Rng& rng)
+    : mlp_({config.in_dim, config.hidden, config.num_classes},
+           config.dropout, rng) {}
+
+Tensor MlpModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  return mlp_.Forward(ctx.x, training, rng);
+}
+
+std::vector<Tensor> MlpModel::Params() { return mlp_.Params(); }
+
+// ---------------------------------------------------------------- GcnModel
+
+GcnModel::GcnModel(const ModelConfig& config, Rng& rng, bool with_mask)
+    : l1_(config.in_dim, config.hidden, rng, with_mask),
+      l2_(config.hidden, config.num_classes, rng, with_mask),
+      dropout_(config.dropout) {}
+
+Tensor GcnModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  Tensor h = ops::Dropout(ctx.x, dropout_, training, rng);
+  h = ops::SpMM(ctx.norm_adj, h);
+  h = ops::Relu(l1_.Forward(h));
+  h = ops::Dropout(h, dropout_, training, rng);
+  h = ops::SpMM(ctx.norm_adj, h);
+  return l2_.Forward(h);
+}
+
+std::vector<Tensor> GcnModel::Params() {
+  std::vector<Tensor> p = l1_.Params();
+  for (const Tensor& t : l2_.Params()) p.push_back(t);
+  return p;
+}
+
+// ---------------------------------------------------------------- SgcModel
+
+SgcModel::SgcModel(const ModelConfig& config, Rng& rng)
+    : out_(config.in_dim, config.num_classes, rng),
+      hops_(config.num_hops), dropout_(config.dropout) {}
+
+Tensor SgcModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  Tensor h = ctx.x;
+  for (int k = 0; k < hops_; ++k) h = ops::SpMM(ctx.norm_adj, h);
+  h = ops::Dropout(h, dropout_, training, rng);
+  return out_.Forward(h);
+}
+
+std::vector<Tensor> SgcModel::Params() { return out_.Params(); }
+
+// -------------------------------------------------------------- GcniiModel
+
+GcniiModel::GcniiModel(const ModelConfig& config, Rng& rng)
+    : in_(config.in_dim, config.hidden, rng),
+      out_(config.hidden, config.num_classes, rng),
+      dropout_(config.dropout) {
+  const int depth = std::max(config.num_layers, 2);
+  layers_.reserve(static_cast<size_t>(depth));
+  for (int l = 0; l < depth; ++l) {
+    layers_.emplace_back(config.hidden, config.hidden, rng);
+  }
+}
+
+Tensor GcniiModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  Tensor h0 = ops::Relu(
+      in_.Forward(ops::Dropout(ctx.x, dropout_, training, rng)));
+  Tensor h = h0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const float beta =
+        std::log(lambda_ / static_cast<float>(l + 1) + 1.0f);
+    Tensor prop = ops::SpMM(ctx.norm_adj, h);
+    Tensor support = ops::Add(ops::Scale(prop, 1.0f - alpha_),
+                              ops::Scale(h0, alpha_));
+    Tensor transformed = layers_[l].Forward(support);
+    h = ops::Relu(ops::Add(ops::Scale(support, 1.0f - beta),
+                           ops::Scale(transformed, beta)));
+    h = ops::Dropout(h, dropout_, training, rng);
+  }
+  return out_.Forward(h);
+}
+
+std::vector<Tensor> GcniiModel::Params() {
+  std::vector<Tensor> p = in_.Params();
+  for (const Linear& l : layers_) {
+    for (const Tensor& t : l.Params()) p.push_back(t);
+  }
+  for (const Tensor& t : out_.Params()) p.push_back(t);
+  return p;
+}
+
+// -------------------------------------------------------------- GamlpModel
+
+GamlpModel::GamlpModel(const ModelConfig& config, Rng& rng)
+    : classifier_({config.in_dim, config.hidden, config.num_classes},
+                  config.dropout, rng),
+      hops_(config.num_hops) {
+  hop_scores_.reserve(static_cast<size_t>(hops_ + 1));
+  for (int k = 0; k <= hops_; ++k) {
+    hop_scores_.emplace_back(config.in_dim, 1, rng);
+  }
+}
+
+Tensor GamlpModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  // Pre-propagated feature list X^(0..K).
+  std::vector<Tensor> hops = {ctx.x};
+  for (int k = 1; k <= hops_; ++k) {
+    hops.push_back(ops::SpMM(ctx.norm_adj, hops.back()));
+  }
+  // Per-node attention over hops: scores (n x K+1) -> row softmax.
+  std::vector<Tensor> scores;
+  scores.reserve(hops.size());
+  for (size_t k = 0; k < hops.size(); ++k) {
+    scores.push_back(hop_scores_[k].Forward(hops[k]));
+  }
+  Tensor att = ops::Softmax(ops::ConcatCols(scores));
+  Tensor combined;
+  for (size_t k = 0; k < hops.size(); ++k) {
+    Tensor w_k = ops::SliceCols(att, static_cast<int64_t>(k), 1);
+    Tensor term = ops::ScaleRows(hops[k], w_k);
+    combined = (k == 0) ? term : ops::Add(combined, term);
+  }
+  return classifier_.Forward(combined, training, rng);
+}
+
+std::vector<Tensor> GamlpModel::Params() {
+  std::vector<Tensor> p;
+  for (const Linear& l : hop_scores_) {
+    for (const Tensor& t : l.Params()) p.push_back(t);
+  }
+  for (const Tensor& t : classifier_.Params()) p.push_back(t);
+  return p;
+}
+
+// ------------------------------------------------------------- GprGnnModel
+
+GprGnnModel::GprGnnModel(const ModelConfig& config, Rng& rng)
+    : mlp_({config.in_dim, config.hidden, config.num_classes},
+           config.dropout, rng),
+      hops_(config.num_hops + 1) {
+  // PPR initialisation gamma_k = a (1-a)^k with a = 0.1.
+  const float a = 0.1f;
+  gammas_.reserve(static_cast<size_t>(hops_ + 1));
+  for (int k = 0; k <= hops_; ++k) {
+    const float g = (k == hops_)
+                        ? std::pow(1.0f - a, static_cast<float>(k))
+                        : a * std::pow(1.0f - a, static_cast<float>(k));
+    gammas_.push_back(ScalarParam(g));
+  }
+}
+
+Tensor GprGnnModel::Forward(const GraphContext& ctx, bool training,
+                            Rng& rng) {
+  Tensor h = mlp_.Forward(ctx.x, training, rng);
+  Tensor z = ops::ScaleByScalar(h, gammas_[0]);
+  Tensor cur = h;
+  for (int k = 1; k <= hops_; ++k) {
+    cur = ops::SpMM(ctx.norm_adj, cur);
+    z = ops::Add(z, ops::ScaleByScalar(cur, gammas_[static_cast<size_t>(k)]));
+  }
+  return z;
+}
+
+std::vector<Tensor> GprGnnModel::Params() {
+  std::vector<Tensor> p = mlp_.Params();
+  for (const Tensor& g : gammas_) p.push_back(g);
+  return p;
+}
+
+// --------------------------------------------------------------- GgcnModel
+
+GgcnModel::GgcnModel(const ModelConfig& config, Rng& rng)
+    : in_(config.in_dim, config.hidden, rng),
+      out_(config.hidden, config.num_classes, rng),
+      dropout_(config.dropout) {
+  const int depth = 2;
+  layers_.reserve(static_cast<size_t>(depth));
+  for (int l = 0; l < depth; ++l) {
+    layers_.emplace_back(config.hidden, config.hidden, rng);
+    alpha_.push_back(ScalarParam(1.0f));  // self
+    alpha_.push_back(ScalarParam(1.0f));  // positive messages
+    alpha_.push_back(ScalarParam(1.0f));  // negative messages
+  }
+}
+
+namespace {
+
+/// Splits the normalised adjacency into positive- and negative-similarity
+/// operators using cosine similarity of the rows of `h`.
+std::pair<std::shared_ptr<CsrMatrix>, std::shared_ptr<CsrMatrix>>
+SignedOperators(const CsrMatrix& norm_adj, const Matrix& h) {
+  Matrix unit = h;
+  RowL2NormalizeInPlace(&unit);
+  std::vector<Triplet> pos;
+  std::vector<Triplet> neg;
+  for (int32_t u = 0; u < norm_adj.rows(); ++u) {
+    const float* hu = unit.row(u);
+    norm_adj.ForEachInRow(u, [&](int32_t v, float w) {
+      const float* hv = unit.row(v);
+      float cos = 0.0f;
+      for (int64_t j = 0; j < unit.cols(); ++j) cos += hu[j] * hv[j];
+      if (cos >= 0.0f) {
+        pos.push_back({u, v, w * cos});
+      } else {
+        neg.push_back({u, v, -w * cos});
+      }
+    });
+  }
+  auto p = std::make_shared<CsrMatrix>(CsrMatrix::FromTriplets(
+      norm_adj.rows(), norm_adj.cols(), std::move(pos)));
+  auto q = std::make_shared<CsrMatrix>(CsrMatrix::FromTriplets(
+      norm_adj.rows(), norm_adj.cols(), std::move(neg)));
+  return {std::move(p), std::move(q)};
+}
+
+}  // namespace
+
+Tensor GgcnModel::Forward(const GraphContext& ctx, bool training, Rng& rng) {
+  Tensor h = ops::Relu(
+      in_.Forward(ops::Dropout(ctx.x, dropout_, training, rng)));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    auto [pos_op, neg_op] = SignedOperators(*ctx.norm_adj, h->value());
+    Tensor t = layers_[l].Forward(h);
+    Tensor self = ops::ScaleByScalar(t, alpha_[3 * l]);
+    Tensor positive =
+        ops::ScaleByScalar(ops::SpMM(pos_op, t), alpha_[3 * l + 1]);
+    Tensor negative =
+        ops::ScaleByScalar(ops::SpMM(neg_op, t), alpha_[3 * l + 2]);
+    h = ops::Relu(ops::Sub(ops::Add(self, positive), negative));
+    h = ops::Dropout(h, dropout_, training, rng);
+  }
+  return out_.Forward(h);
+}
+
+std::vector<Tensor> GgcnModel::Params() {
+  std::vector<Tensor> p = in_.Params();
+  for (const Linear& l : layers_) {
+    for (const Tensor& t : l.Params()) p.push_back(t);
+  }
+  for (const Tensor& a : alpha_) p.push_back(a);
+  for (const Tensor& t : out_.Params()) p.push_back(t);
+  return p;
+}
+
+// ------------------------------------------------------------- GloGnnModel
+
+GloGnnModel::GloGnnModel(const ModelConfig& config, Rng& rng)
+    : embed_({config.in_dim, config.hidden, config.num_classes},
+             config.dropout, rng),
+      q_(config.num_classes, config.low_rank, rng),
+      k_(config.num_classes, config.low_rank, rng),
+      gamma_(ScalarParam(0.5f)),
+      num_layers_(2),
+      low_rank_(config.low_rank) {}
+
+Tensor GloGnnModel::Forward(const GraphContext& ctx, bool training,
+                            Rng& rng) {
+  Tensor z0 = embed_.Forward(ctx.x, training, rng);
+  // Low-rank global affinity T = Q K^T / r over all node pairs.
+  Tensor q = q_.Forward(z0);
+  Tensor k = k_.Forward(z0);
+  Tensor t = ops::Scale(ops::MatMulTransB(q, k),
+                        1.0f / static_cast<float>(low_rank_));
+  Tensor z = z0;
+  for (int l = 0; l < num_layers_; ++l) {
+    // z <- (1-g) T z + g z0, with a one-hop term to keep local structure.
+    Tensor global = ops::Scale(ops::MatMul(t, z),
+                               1.0f / static_cast<float>(ctx.x->rows()));
+    Tensor local = ops::SpMM(ctx.norm_adj, z);
+    Tensor mixed = ops::Add(global, local);
+    z = ops::Lerp(z0, mixed, gamma_);
+  }
+  return z;
+}
+
+std::vector<Tensor> GloGnnModel::Params() {
+  std::vector<Tensor> p = embed_.Params();
+  for (const Tensor& t : q_.Params()) p.push_back(t);
+  for (const Tensor& t : k_.Params()) p.push_back(t);
+  p.push_back(gamma_);
+  return p;
+}
+
+// ------------------------------------------------------------ Factory etc.
+
+std::unique_ptr<Model> CreateModel(const std::string& name,
+                                   const ModelConfig& config, Rng& rng) {
+  ADAFGL_CHECK(config.in_dim > 0 && config.num_classes > 0);
+  if (name == "MLP") return std::make_unique<MlpModel>(config, rng);
+  if (name == "GCN") return std::make_unique<GcnModel>(config, rng);
+  if (name == "SGC") return std::make_unique<SgcModel>(config, rng);
+  if (name == "GCNII") return std::make_unique<GcniiModel>(config, rng);
+  if (name == "GAMLP") return std::make_unique<GamlpModel>(config, rng);
+  if (name == "GPRGNN") return std::make_unique<GprGnnModel>(config, rng);
+  if (name == "GGCN") return std::make_unique<GgcnModel>(config, rng);
+  if (name == "GloGNN") return std::make_unique<GloGnnModel>(config, rng);
+  ADAFGL_CHECK(false && "unknown model name");
+  return nullptr;
+}
+
+std::vector<std::string> ModelZooNames() {
+  return {"MLP", "GCN", "SGC", "GCNII", "GAMLP", "GPRGNN", "GGCN", "GloGNN"};
+}
+
+std::vector<Matrix> GetWeights(Model& model) {
+  std::vector<Matrix> out;
+  for (const Tensor& p : model.Params()) out.push_back(p->value());
+  return out;
+}
+
+void SetWeights(Model& model, const std::vector<Matrix>& weights) {
+  std::vector<Tensor> params = model.Params();
+  ADAFGL_CHECK(params.size() == weights.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ADAFGL_CHECK(params[i]->value().SameShape(weights[i]));
+    params[i]->mutable_value() = weights[i];
+  }
+}
+
+int64_t ParameterCount(Model& model) {
+  int64_t count = 0;
+  for (const Tensor& p : model.Params()) count += p->value().size();
+  return count;
+}
+
+}  // namespace adafgl

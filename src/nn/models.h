@@ -1,0 +1,146 @@
+#ifndef ADAFGL_NN_MODELS_H_
+#define ADAFGL_NN_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/model.h"
+
+namespace adafgl {
+
+/// \brief Plain MLP on node features (topology-free baseline; also the
+/// topology-independent embedding of AdaFGL's heterophilous branch).
+class MlpModel : public Model {
+ public:
+  MlpModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  Mlp mlp_;
+};
+
+/// \brief Two-layer GCN (Kipf & Welling), Eq. 1 with r = 1/2. The paper's
+/// homophilous reference model and AdaFGL's federated knowledge extractor.
+class GcnModel : public Model {
+ public:
+  GcnModel(const ModelConfig& config, Rng& rng, bool with_mask = false);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GCN"; }
+
+ private:
+  Linear l1_;
+  Linear l2_;
+  float dropout_;
+};
+
+/// \brief SGC (Wu et al.): linear model on K-step propagated features
+/// X^(K) = Â^K X.
+class SgcModel : public Model {
+ public:
+  SgcModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "SGC"; }
+
+ private:
+  Linear out_;
+  int hops_;
+  float dropout_;
+};
+
+/// \brief GCNII (Chen et al.): deep GCN with initial residual and identity
+/// mapping, H^(l+1) = sigma(((1-a)ÂH + aH0)((1-b_l)I + b_l W_l)).
+class GcniiModel : public Model {
+ public:
+  GcniiModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GCNII"; }
+
+ private:
+  Linear in_;
+  std::vector<Linear> layers_;
+  Linear out_;
+  float dropout_;
+  float alpha_ = 0.1f;
+  float lambda_ = 0.5f;
+};
+
+/// \brief GAMLP (Zhang et al.), JK-attention variant: per-node attention
+/// over the list of pre-propagated features [X^(0), ..., X^(K)].
+class GamlpModel : public Model {
+ public:
+  GamlpModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GAMLP"; }
+
+ private:
+  std::vector<Linear> hop_scores_;  // One n x 1 scorer per hop.
+  Mlp classifier_;
+  int hops_;
+};
+
+/// \brief GPR-GNN (Chien et al.): MLP followed by generalized-PageRank
+/// propagation Z = sum_k gamma_k H^(k) with learnable gamma (PPR init).
+class GprGnnModel : public Model {
+ public:
+  GprGnnModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GPRGNN"; }
+
+ private:
+  Mlp mlp_;
+  std::vector<Tensor> gammas_;  // 1x1 scalars, K+1 of them.
+  int hops_;
+};
+
+/// \brief GGCN (Yan et al.) in simplified form: signed, degree-normalised
+/// message passing. Edge signs come from the cosine similarity of current
+/// embeddings (treated as constants per layer, as in the paper's
+/// "structure-based edge correction"); positive and negative messages are
+/// combined with learnable scalar coefficients.
+class GgcnModel : public Model {
+ public:
+  GgcnModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GGCN"; }
+
+ private:
+  Linear in_;
+  std::vector<Linear> layers_;
+  std::vector<Tensor> alpha_;  // 3 scalars per layer: self, pos, neg.
+  Linear out_;
+  float dropout_;
+};
+
+/// \brief GloGNN (Li et al.) in simplified form: each layer mixes a global
+/// low-rank affinity aggregation T Z (T = QK^T / r from learned factors)
+/// with the initial embedding, Z^(l+1) = (1-g) T Z^(l) + g Z^(0), capturing
+/// "global homophily" beyond the one-hop neighbourhood.
+class GloGnnModel : public Model {
+ public:
+  GloGnnModel(const ModelConfig& config, Rng& rng);
+  Tensor Forward(const GraphContext& ctx, bool training, Rng& rng) override;
+  std::vector<Tensor> Params() override;
+  std::string name() const override { return "GloGNN"; }
+
+ private:
+  Mlp embed_;
+  Linear q_;
+  Linear k_;
+  Tensor gamma_;  // 1x1.
+  int num_layers_;
+  int64_t low_rank_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_NN_MODELS_H_

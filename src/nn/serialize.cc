@@ -1,0 +1,102 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace adafgl {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'F', 'G'};
+constexpr uint32_t kVersion = 1;
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(const std::string& in, size_t* offset, T* value) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeWeights(const std::vector<Matrix>& weights) {
+  std::string out;
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<uint32_t>(weights.size()));
+  for (const Matrix& w : weights) {
+    AppendValue(&out, w.rows());
+    AppendValue(&out, w.cols());
+    AppendRaw(&out, w.data(), static_cast<size_t>(w.size()) * sizeof(float));
+  }
+  return out;
+}
+
+Result<std::vector<Matrix>> DeserializeWeights(const std::string& bytes) {
+  size_t offset = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  offset += sizeof(kMagic);
+  uint32_t version = 0, count = 0;
+  if (!ReadValue(bytes, &offset, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadValue(bytes, &offset, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  std::vector<Matrix> weights;
+  weights.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t rows = 0, cols = 0;
+    if (!ReadValue(bytes, &offset, &rows) ||
+        !ReadValue(bytes, &offset, &cols) || rows < 0 || cols < 0) {
+      return Status::InvalidArgument("malformed matrix header");
+    }
+    const size_t payload = static_cast<size_t>(rows) *
+                           static_cast<size_t>(cols) * sizeof(float);
+    if (offset + payload > bytes.size()) {
+      return Status::InvalidArgument("truncated matrix payload");
+    }
+    Matrix m(rows, cols);
+    std::memcpy(m.data(), bytes.data() + offset, payload);
+    offset += payload;
+    weights.push_back(std::move(m));
+  }
+  if (offset != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+  return weights;
+}
+
+Status SaveWeightsToFile(const std::vector<Matrix>& weights,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  const std::string bytes = SerializeWeights(weights);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for '" + path + "'");
+}
+
+Result<std::vector<Matrix>> LoadWeightsFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeWeights(buffer.str());
+}
+
+}  // namespace adafgl

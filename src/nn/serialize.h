@@ -1,0 +1,34 @@
+#ifndef ADAFGL_NN_SERIALIZE_H_
+#define ADAFGL_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief Binary checkpoint format for model weights.
+///
+/// Layout: magic "ADFG" (4 bytes), version u32, count u32, then per matrix
+/// rows i64, cols i64, rows*cols f32 little-endian. Used to persist
+/// federated global models between Step 1 and deployment, and to hand
+/// weights between processes in real multi-host federations.
+
+/// Serializes a weight list to bytes.
+std::string SerializeWeights(const std::vector<Matrix>& weights);
+
+/// Parses a weight list from bytes; InvalidArgument on malformed input.
+Result<std::vector<Matrix>> DeserializeWeights(const std::string& bytes);
+
+/// Writes a checkpoint file.
+Status SaveWeightsToFile(const std::vector<Matrix>& weights,
+                         const std::string& path);
+
+/// Reads a checkpoint file.
+Result<std::vector<Matrix>> LoadWeightsFromFile(const std::string& path);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_NN_SERIALIZE_H_

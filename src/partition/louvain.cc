@@ -1,0 +1,176 @@
+#include "partition/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Weighted graph in adjacency-list form used internally across levels.
+struct LevelGraph {
+  int32_t n = 0;
+  // Per-node neighbour lists (node, weight); parallel edges pre-merged.
+  std::vector<std::vector<std::pair<int32_t, float>>> nbrs;
+  std::vector<float> self_loop;   // Aggregated intra-community weight.
+  std::vector<float> degree;      // Weighted degree incl. self loop * 2.
+  double total_weight = 0.0;      // 2m.
+};
+
+LevelGraph FromCsr(const CsrMatrix& adj) {
+  LevelGraph g;
+  g.n = adj.rows();
+  g.nbrs.resize(static_cast<size_t>(g.n));
+  g.self_loop.assign(static_cast<size_t>(g.n), 0.0f);
+  g.degree.assign(static_cast<size_t>(g.n), 0.0f);
+  for (int32_t u = 0; u < g.n; ++u) {
+    adj.ForEachInRow(u, [&](int32_t v, float w) {
+      if (v == u) {
+        g.self_loop[static_cast<size_t>(u)] += w;
+      } else {
+        g.nbrs[static_cast<size_t>(u)].emplace_back(v, w);
+      }
+    });
+  }
+  for (int32_t u = 0; u < g.n; ++u) {
+    float d = 2.0f * g.self_loop[static_cast<size_t>(u)];
+    for (const auto& [v, w] : g.nbrs[static_cast<size_t>(u)]) d += w;
+    g.degree[static_cast<size_t>(u)] = d;
+    g.total_weight += d;
+  }
+  return g;
+}
+
+/// One level of local moving. Returns (community per node, gained).
+std::pair<std::vector<int32_t>, bool> LocalMoving(
+    const LevelGraph& g, Rng& rng, const LouvainOptions& options) {
+  std::vector<int32_t> comm(static_cast<size_t>(g.n));
+  std::iota(comm.begin(), comm.end(), 0);
+  std::vector<double> comm_tot(g.degree.begin(), g.degree.end());
+
+  std::vector<int32_t> order(static_cast<size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+
+  const double two_m = std::max(g.total_weight, 1e-12);
+  bool any_gain = false;
+  std::unordered_map<int32_t, double> weight_to;
+
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    bool moved = false;
+    for (int32_t u : order) {
+      const size_t su = static_cast<size_t>(u);
+      const int32_t cu = comm[su];
+      weight_to.clear();
+      weight_to[cu] = 0.0;
+      for (const auto& [v, w] : g.nbrs[su]) {
+        weight_to[comm[static_cast<size_t>(v)]] += w;
+      }
+      // Remove u from its community.
+      comm_tot[static_cast<size_t>(cu)] -= g.degree[su];
+      double best_gain = 0.0;
+      int32_t best_comm = cu;
+      const double base = weight_to[cu] -
+                          comm_tot[static_cast<size_t>(cu)] * g.degree[su] / two_m;
+      for (const auto& [c, w_in] : weight_to) {
+        const double gain =
+            w_in - comm_tot[static_cast<size_t>(c)] * g.degree[su] / two_m;
+        if (gain - base > best_gain + options.min_modularity_gain) {
+          best_gain = gain - base;
+          best_comm = c;
+        }
+      }
+      comm[su] = best_comm;
+      comm_tot[static_cast<size_t>(best_comm)] += g.degree[su];
+      if (best_comm != cu) {
+        moved = true;
+        any_gain = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return {std::move(comm), any_gain};
+}
+
+/// Renumbers community ids to a dense 0..k-1 range.
+int32_t Compact(std::vector<int32_t>* comm) {
+  std::unordered_map<int32_t, int32_t> remap;
+  for (int32_t& c : *comm) {
+    auto [it, inserted] =
+        remap.emplace(c, static_cast<int32_t>(remap.size()));
+    c = it->second;
+  }
+  return static_cast<int32_t>(remap.size());
+}
+
+/// Aggregates communities into a coarser LevelGraph.
+LevelGraph Aggregate(const LevelGraph& g, const std::vector<int32_t>& comm,
+                     int32_t num_comm) {
+  LevelGraph coarse;
+  coarse.n = num_comm;
+  coarse.nbrs.resize(static_cast<size_t>(num_comm));
+  coarse.self_loop.assign(static_cast<size_t>(num_comm), 0.0f);
+  coarse.degree.assign(static_cast<size_t>(num_comm), 0.0f);
+
+  std::vector<std::unordered_map<int32_t, float>> agg(
+      static_cast<size_t>(num_comm));
+  for (int32_t u = 0; u < g.n; ++u) {
+    const size_t su = static_cast<size_t>(u);
+    const int32_t cu = comm[su];
+    coarse.self_loop[static_cast<size_t>(cu)] += g.self_loop[su];
+    for (const auto& [v, w] : g.nbrs[su]) {
+      const int32_t cv = comm[static_cast<size_t>(v)];
+      if (cv == cu) {
+        // Each intra-community edge visited twice (u->v and v->u).
+        coarse.self_loop[static_cast<size_t>(cu)] += w * 0.5f;
+      } else {
+        agg[static_cast<size_t>(cu)][cv] += w;
+      }
+    }
+  }
+  for (int32_t c = 0; c < num_comm; ++c) {
+    auto& out = coarse.nbrs[static_cast<size_t>(c)];
+    out.assign(agg[static_cast<size_t>(c)].begin(),
+               agg[static_cast<size_t>(c)].end());
+    std::sort(out.begin(), out.end());
+    float d = 2.0f * coarse.self_loop[static_cast<size_t>(c)];
+    for (const auto& [v, w] : out) d += w;
+    coarse.degree[static_cast<size_t>(c)] = d;
+    coarse.total_weight += d;
+  }
+  return coarse;
+}
+
+}  // namespace
+
+std::vector<int32_t> Louvain(const CsrMatrix& adj, Rng& rng,
+                             const LouvainOptions& options) {
+  ADAFGL_CHECK(adj.rows() == adj.cols());
+  const int32_t n = adj.rows();
+  std::vector<int32_t> assignment(static_cast<size_t>(n));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  if (n == 0) return assignment;
+
+  LevelGraph g = FromCsr(adj);
+  for (int level = 0; level < options.max_levels; ++level) {
+    auto [comm, gained] = LocalMoving(g, rng, options);
+    const int32_t num_comm = Compact(&comm);
+    // Map original nodes through this level's assignment.
+    for (int32_t u = 0; u < n; ++u) {
+      assignment[static_cast<size_t>(u)] =
+          comm[static_cast<size_t>(assignment[static_cast<size_t>(u)])];
+    }
+    if (!gained || num_comm == g.n) break;
+    g = Aggregate(g, comm, num_comm);
+  }
+  Compact(&assignment);
+  return assignment;
+}
+
+}  // namespace adafgl

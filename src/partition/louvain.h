@@ -1,0 +1,34 @@
+#ifndef ADAFGL_PARTITION_LOUVAIN_H_
+#define ADAFGL_PARTITION_LOUVAIN_H_
+
+#include <vector>
+
+#include "tensor/csr.h"
+#include "tensor/rng.h"
+
+namespace adafgl {
+
+/// Options for the Louvain community-detection algorithm.
+struct LouvainOptions {
+  /// Stop a local-moving pass when the modularity gain falls below this.
+  double min_modularity_gain = 1e-6;
+  /// Upper bound on coarsening levels (safety valve; Louvain converges far
+  /// earlier on real graphs).
+  int max_levels = 20;
+  /// Maximum local-moving sweeps per level.
+  int max_sweeps_per_level = 50;
+};
+
+/// \brief Louvain community detection (Blondel et al., 2008), as used by the
+/// paper's *community split* simulation strategy.
+///
+/// Runs repeated local-moving + graph-aggregation phases until modularity
+/// stops improving. Node visiting order is shuffled with `rng`, making the
+/// result deterministic for a fixed seed. Returns a community id per node
+/// (ids are compacted to 0..num_communities-1).
+std::vector<int32_t> Louvain(const CsrMatrix& adj, Rng& rng,
+                             const LouvainOptions& options = {});
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_PARTITION_LOUVAIN_H_

@@ -1,0 +1,308 @@
+#include "partition/metis_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+namespace {
+
+/// Weighted graph used across coarsening levels. Node weights count how many
+/// original nodes a coarse node represents (the balance constraint is on
+/// original node counts).
+struct WGraph {
+  int32_t n = 0;
+  std::vector<std::vector<std::pair<int32_t, float>>> nbrs;
+  std::vector<int32_t> node_weight;
+};
+
+WGraph FromCsr(const CsrMatrix& adj) {
+  WGraph g;
+  g.n = adj.rows();
+  g.nbrs.resize(static_cast<size_t>(g.n));
+  g.node_weight.assign(static_cast<size_t>(g.n), 1);
+  for (int32_t u = 0; u < g.n; ++u) {
+    adj.ForEachInRow(u, [&](int32_t v, float w) {
+      if (v != u) g.nbrs[static_cast<size_t>(u)].emplace_back(v, w);
+    });
+  }
+  return g;
+}
+
+/// Heavy-edge matching: visits nodes in random order, matching each
+/// unmatched node with its heaviest unmatched neighbour. Returns the
+/// coarse-node id per fine node and the number of coarse nodes.
+std::pair<std::vector<int32_t>, int32_t> HeavyEdgeMatch(const WGraph& g,
+                                                        Rng& rng) {
+  std::vector<int32_t> match(static_cast<size_t>(g.n), -1);
+  std::vector<int32_t> order(static_cast<size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+  std::vector<int32_t> coarse_id(static_cast<size_t>(g.n), -1);
+  int32_t next = 0;
+  for (int32_t u : order) {
+    if (coarse_id[static_cast<size_t>(u)] != -1) continue;
+    int32_t best = -1;
+    float best_w = -1.0f;
+    for (const auto& [v, w] : g.nbrs[static_cast<size_t>(u)]) {
+      if (coarse_id[static_cast<size_t>(v)] == -1 && w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    coarse_id[static_cast<size_t>(u)] = next;
+    if (best != -1) coarse_id[static_cast<size_t>(best)] = next;
+    ++next;
+  }
+  (void)match;
+  return {std::move(coarse_id), next};
+}
+
+WGraph Coarsen(const WGraph& g, const std::vector<int32_t>& coarse_id,
+               int32_t coarse_n) {
+  WGraph c;
+  c.n = coarse_n;
+  c.nbrs.resize(static_cast<size_t>(coarse_n));
+  c.node_weight.assign(static_cast<size_t>(coarse_n), 0);
+  std::vector<std::unordered_map<int32_t, float>> agg(
+      static_cast<size_t>(coarse_n));
+  for (int32_t u = 0; u < g.n; ++u) {
+    const int32_t cu = coarse_id[static_cast<size_t>(u)];
+    c.node_weight[static_cast<size_t>(cu)] +=
+        g.node_weight[static_cast<size_t>(u)];
+    for (const auto& [v, w] : g.nbrs[static_cast<size_t>(u)]) {
+      const int32_t cv = coarse_id[static_cast<size_t>(v)];
+      if (cv != cu) agg[static_cast<size_t>(cu)][cv] += w;
+    }
+  }
+  for (int32_t u = 0; u < coarse_n; ++u) {
+    auto& out = c.nbrs[static_cast<size_t>(u)];
+    out.assign(agg[static_cast<size_t>(u)].begin(),
+               agg[static_cast<size_t>(u)].end());
+    std::sort(out.begin(), out.end());
+  }
+  return c;
+}
+
+/// Greedy region growing: grows k parts from random seeds via weighted BFS,
+/// always extending the currently lightest part.
+std::vector<int32_t> InitialPartition(const WGraph& g, int32_t k,
+                                      int64_t max_part_weight, Rng& rng) {
+  std::vector<int32_t> part(static_cast<size_t>(g.n), -1);
+  std::vector<int64_t> weight(static_cast<size_t>(k), 0);
+  std::vector<std::queue<int32_t>> frontier(static_cast<size_t>(k));
+
+  // Random distinct seeds.
+  std::vector<int32_t> order(static_cast<size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+  int32_t seeded = 0;
+  for (int32_t u : order) {
+    if (seeded == k) break;
+    if (part[static_cast<size_t>(u)] == -1) {
+      part[static_cast<size_t>(u)] = seeded;
+      weight[static_cast<size_t>(seeded)] +=
+          g.node_weight[static_cast<size_t>(u)];
+      frontier[static_cast<size_t>(seeded)].push(u);
+      ++seeded;
+    }
+  }
+
+  int32_t assigned = seeded;
+  size_t fallback_cursor = 0;
+  while (assigned < g.n) {
+    // Pick lightest part that still has a frontier or can take a fallback.
+    int32_t p = 0;
+    for (int32_t i = 1; i < k; ++i) {
+      if (weight[static_cast<size_t>(i)] < weight[static_cast<size_t>(p)]) {
+        p = i;
+      }
+    }
+    int32_t grab = -1;
+    auto& q = frontier[static_cast<size_t>(p)];
+    while (!q.empty() && grab == -1) {
+      const int32_t u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.nbrs[static_cast<size_t>(u)]) {
+        (void)w;
+        if (part[static_cast<size_t>(v)] == -1) {
+          grab = v;
+          q.push(u);  // u may have more unassigned neighbours.
+          break;
+        }
+      }
+    }
+    if (grab == -1) {
+      // Disconnected remainder: take the next unassigned node anywhere.
+      while (fallback_cursor < order.size() &&
+             part[static_cast<size_t>(order[fallback_cursor])] != -1) {
+        ++fallback_cursor;
+      }
+      if (fallback_cursor >= order.size()) break;
+      grab = order[fallback_cursor];
+    }
+    part[static_cast<size_t>(grab)] = p;
+    weight[static_cast<size_t>(p)] += g.node_weight[static_cast<size_t>(grab)];
+    frontier[static_cast<size_t>(p)].push(grab);
+    ++assigned;
+    (void)max_part_weight;
+  }
+  return part;
+}
+
+/// Greedy boundary refinement: moves boundary nodes to the neighbouring part
+/// with maximum cut gain, subject to the balance constraint.
+void Refine(const WGraph& g, int32_t k, int64_t max_part_weight, int sweeps,
+            std::vector<int32_t>* part) {
+  std::vector<int64_t> weight(static_cast<size_t>(k), 0);
+  for (int32_t u = 0; u < g.n; ++u) {
+    weight[static_cast<size_t>((*part)[static_cast<size_t>(u)])] +=
+        g.node_weight[static_cast<size_t>(u)];
+  }
+  std::unordered_map<int32_t, float> conn;
+  for (int s = 0; s < sweeps; ++s) {
+    bool moved = false;
+    for (int32_t u = 0; u < g.n; ++u) {
+      const size_t su = static_cast<size_t>(u);
+      const int32_t pu = (*part)[su];
+      conn.clear();
+      for (const auto& [v, w] : g.nbrs[su]) {
+        conn[(*part)[static_cast<size_t>(v)]] += w;
+      }
+      if (conn.size() <= 1 && conn.count(pu)) continue;  // Interior node.
+      const float internal = conn.count(pu) ? conn[pu] : 0.0f;
+      float best_gain = 0.0f;
+      int32_t best_part = pu;
+      for (const auto& [p, w] : conn) {
+        if (p == pu) continue;
+        if (weight[static_cast<size_t>(p)] +
+                g.node_weight[su] > max_part_weight) {
+          continue;
+        }
+        const float gain = w - internal;
+        if (gain > best_gain + 1e-9f) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      if (best_part != pu) {
+        weight[static_cast<size_t>(pu)] -= g.node_weight[su];
+        weight[static_cast<size_t>(best_part)] += g.node_weight[su];
+        (*part)[su] = best_part;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+/// Forces every part non-empty and within the balance bound by moving nodes
+/// from the heaviest parts into deficient ones (cheapest-connection first).
+void EnforceFeasibility(const WGraph& g, int32_t k, int64_t max_part_weight,
+                        std::vector<int32_t>* part) {
+  std::vector<int64_t> weight(static_cast<size_t>(k), 0);
+  for (int32_t u = 0; u < g.n; ++u) {
+    weight[static_cast<size_t>((*part)[static_cast<size_t>(u)])] +=
+        g.node_weight[static_cast<size_t>(u)];
+  }
+  for (int32_t p = 0; p < k; ++p) {
+    while (weight[static_cast<size_t>(p)] == 0) {
+      // Steal a node from the heaviest part.
+      int32_t donor = 0;
+      for (int32_t i = 1; i < k; ++i) {
+        if (weight[static_cast<size_t>(i)] > weight[static_cast<size_t>(donor)]) {
+          donor = i;
+        }
+      }
+      int32_t steal = -1;
+      for (int32_t u = 0; u < g.n && steal == -1; ++u) {
+        if ((*part)[static_cast<size_t>(u)] == donor) steal = u;
+      }
+      ADAFGL_CHECK(steal != -1);
+      (*part)[static_cast<size_t>(steal)] = p;
+      weight[static_cast<size_t>(donor)] -=
+          g.node_weight[static_cast<size_t>(steal)];
+      weight[static_cast<size_t>(p)] +=
+          g.node_weight[static_cast<size_t>(steal)];
+    }
+  }
+  (void)max_part_weight;
+}
+
+}  // namespace
+
+std::vector<int32_t> MetisLikePartition(const CsrMatrix& adj, int32_t k,
+                                        Rng& rng,
+                                        const MetisLikeOptions& options) {
+  ADAFGL_CHECK(adj.rows() == adj.cols());
+  ADAFGL_CHECK(k > 0);
+  const int32_t n = adj.rows();
+  if (k == 1) return std::vector<int32_t>(static_cast<size_t>(n), 0);
+  ADAFGL_CHECK(n >= k);
+
+  const int64_t max_part_weight = static_cast<int64_t>(
+      std::ceil(static_cast<double>(n) / k * (1.0 + options.epsilon)));
+
+  // --- Coarsening phase. ---
+  std::vector<WGraph> levels;
+  std::vector<std::vector<int32_t>> projections;
+  levels.push_back(FromCsr(adj));
+  const int32_t target = std::max(k * options.coarsen_to_per_part, 2 * k);
+  while (levels.back().n > target) {
+    auto [coarse_id, coarse_n] = HeavyEdgeMatch(levels.back(), rng);
+    if (coarse_n >= levels.back().n) break;  // Matching stalled.
+    WGraph coarse = Coarsen(levels.back(), coarse_id, coarse_n);
+    projections.push_back(std::move(coarse_id));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Initial partition on the coarsest graph. ---
+  std::vector<int32_t> part =
+      InitialPartition(levels.back(), k, max_part_weight, rng);
+  EnforceFeasibility(levels.back(), k, max_part_weight, &part);
+  Refine(levels.back(), k, max_part_weight, options.refine_sweeps, &part);
+
+  // --- Uncoarsening + refinement. ---
+  for (int64_t lvl = static_cast<int64_t>(projections.size()) - 1; lvl >= 0;
+       --lvl) {
+    const std::vector<int32_t>& proj = projections[static_cast<size_t>(lvl)];
+    std::vector<int32_t> fine_part(proj.size());
+    for (size_t u = 0; u < proj.size(); ++u) {
+      fine_part[u] = part[static_cast<size_t>(proj[u])];
+    }
+    part = std::move(fine_part);
+    Refine(levels[static_cast<size_t>(lvl)], k, max_part_weight,
+           options.refine_sweeps, &part);
+  }
+  EnforceFeasibility(levels.front(), k, max_part_weight, &part);
+  return part;
+}
+
+std::vector<int32_t> RandomPartition(int32_t num_nodes, int32_t k, Rng& rng) {
+  ADAFGL_CHECK(k > 0 && num_nodes >= k);
+  std::vector<int32_t> part(static_cast<size_t>(num_nodes));
+  // Shuffle node ids and deal them round-robin for exact balance.
+  std::vector<int32_t> order(static_cast<size_t>(num_nodes));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = num_nodes - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+  for (int32_t i = 0; i < num_nodes; ++i) {
+    part[static_cast<size_t>(order[static_cast<size_t>(i)])] = i % k;
+  }
+  return part;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,155 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adafgl {
+
+CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
+                                  std::vector<Triplet> triplets) {
+  CsrMatrix m(rows, cols);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::vector<int64_t> counts(static_cast<size_t>(rows) + 1, 0);
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const int32_t r = triplets[i].row;
+    const int32_t c = triplets[i].col;
+    ADAFGL_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    float v = 0.0f;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    m.indices_.push_back(c);
+    m.values_.push_back(v);
+    ++counts[static_cast<size_t>(r) + 1];
+  }
+  for (size_t r = 1; r < counts.size(); ++r) counts[r] += counts[r - 1];
+  m.indptr_ = std::move(counts);
+  return m;
+}
+
+bool CsrMatrix::HasEntry(int32_t r, int32_t c) const {
+  ADAFGL_CHECK(r >= 0 && r < rows_);
+  const auto begin = indices_.begin() + indptr_[static_cast<size_t>(r)];
+  const auto end = indices_.begin() + indptr_[static_cast<size_t>(r) + 1];
+  return std::binary_search(begin, end, c);
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  ADAFGL_CHECK(cols_ == x.rows());
+  Matrix y(rows_, x.cols());
+  const int64_t d = x.cols();
+  for (int32_t r = 0; r < rows_; ++r) {
+    float* yr = y.row(r);
+    for (int64_t p = indptr_[static_cast<size_t>(r)];
+         p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const float v = values_[static_cast<size_t>(p)];
+      const float* xr = x.row(indices_[static_cast<size_t>(p)]);
+      for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::MultiplyTranspose(const Matrix& x) const {
+  ADAFGL_CHECK(rows_ == x.rows());
+  Matrix y(cols_, x.cols());
+  const int64_t d = x.cols();
+  for (int32_t r = 0; r < rows_; ++r) {
+    const float* xr = x.row(r);
+    for (int64_t p = indptr_[static_cast<size_t>(r)];
+         p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const float v = values_[static_cast<size_t>(p)];
+      float* yr = y.row(indices_[static_cast<size_t>(p)]);
+      for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (int32_t r = 0; r < rows_; ++r) {
+    ForEachInRow(r, [&](int32_t c, float v) { d(r, c) = v; });
+  }
+  return d;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<size_t>(nnz()));
+  for (int32_t r = 0; r < rows_; ++r) {
+    ForEachInRow(r, [&](int32_t c, float v) { trip.push_back({c, r, v}); });
+  }
+  return FromTriplets(cols_, rows_, std::move(trip));
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(static_cast<size_t>(rows_), 0.0f);
+  for (int32_t r = 0; r < rows_; ++r) {
+    ForEachInRow(r, [&](int32_t, float v) {
+      sums[static_cast<size_t>(r)] += v;
+    });
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::WithSelfLoops() const {
+  ADAFGL_CHECK(rows_ == cols_);
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<size_t>(nnz()) + static_cast<size_t>(rows_));
+  for (int32_t r = 0; r < rows_; ++r) {
+    ForEachInRow(r, [&](int32_t c, float v) {
+      if (c != r) trip.push_back({r, c, v});
+    });
+    trip.push_back({r, r, 1.0f});
+  }
+  return FromTriplets(rows_, cols_, std::move(trip));
+}
+
+CsrMatrix CsrMatrix::Normalized(float r) const {
+  ADAFGL_CHECK(rows_ == cols_);
+  const std::vector<float> deg = RowSums();
+  // d_out^{r-1} A d_in^{-r}; for symmetric A row sums equal column sums.
+  std::vector<float> left(deg.size()), right(deg.size());
+  for (size_t i = 0; i < deg.size(); ++i) {
+    const float d = std::max(deg[i], 1e-12f);
+    left[i] = std::pow(d, r - 1.0f);
+    right[i] = std::pow(d, -r);
+  }
+  CsrMatrix out = *this;
+  for (int32_t row = 0; row < rows_; ++row) {
+    for (int64_t p = out.indptr_[static_cast<size_t>(row)];
+         p < out.indptr_[static_cast<size_t>(row) + 1]; ++p) {
+      const int32_t col = out.indices_[static_cast<size_t>(p)];
+      out.values_[static_cast<size_t>(p)] *=
+          left[static_cast<size_t>(row)] * right[static_cast<size_t>(col)];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrFromUndirectedEdges(
+    int32_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges) {
+  std::vector<Triplet> trip;
+  trip.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    ADAFGL_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    if (u == v) continue;  // Self loops are added explicitly by callers.
+    trip.push_back({u, v, 1.0f});
+    trip.push_back({v, u, 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(num_nodes, num_nodes, std::move(trip));
+  // Collapse duplicate-edge sums back to binary weights.
+  for (float& v : m.mutable_values()) v = v > 0.0f ? 1.0f : 0.0f;
+  return m;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,103 @@
+#ifndef ADAFGL_TENSOR_CSR_H_
+#define ADAFGL_TENSOR_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief A single (row, col, value) entry used when building CSR matrices.
+struct Triplet {
+  int32_t row;
+  int32_t col;
+  float value;
+};
+
+/// \brief Compressed sparse row matrix (float32 values).
+///
+/// The workhorse for graph adjacency and all propagation operators. Rows and
+/// column indices are int32 (graphs in this library are < 2^31 nodes);
+/// indptr is int64 to allow > 2^31 non-zeros in principle.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { indptr_.push_back(0); }
+
+  /// An empty (all-zero) matrix of the given shape.
+  CsrMatrix(int32_t rows, int32_t cols)
+      : rows_(rows), cols_(cols),
+        indptr_(static_cast<size_t>(rows) + 1, 0) {}
+
+  /// Builds from unsorted triplets; duplicate (row, col) values are summed.
+  static CsrMatrix FromTriplets(int32_t rows, int32_t cols,
+                                std::vector<Triplet> triplets);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(indices_.size()); }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Number of stored entries in row r.
+  int64_t RowNnz(int32_t r) const {
+    return indptr_[static_cast<size_t>(r) + 1] - indptr_[static_cast<size_t>(r)];
+  }
+
+  /// Iterates row r: calls fn(col, value) for every stored entry.
+  template <typename Fn>
+  void ForEachInRow(int32_t r, Fn&& fn) const {
+    ADAFGL_CHECK(r >= 0 && r < rows_);
+    for (int64_t p = indptr_[static_cast<size_t>(r)];
+         p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
+      fn(indices_[static_cast<size_t>(p)], values_[static_cast<size_t>(p)]);
+    }
+  }
+
+  /// True if (r, c) has a stored entry (binary search; rows are sorted).
+  bool HasEntry(int32_t r, int32_t c) const;
+
+  /// y = this * x (CSR x dense).
+  Matrix Multiply(const Matrix& x) const;
+
+  /// y = this^T * x. Requires rows() == x.rows().
+  Matrix MultiplyTranspose(const Matrix& x) const;
+
+  /// Dense copy; intended for small matrices and tests.
+  Matrix ToDense() const;
+
+  /// Transposed copy.
+  CsrMatrix Transposed() const;
+
+  /// Per-row sum of values (weighted out-degree) as a length-rows vector.
+  std::vector<float> RowSums() const;
+
+  /// Returns a copy with unit diagonal entries added (existing diagonal
+  /// entries are overwritten with 1).
+  CsrMatrix WithSelfLoops() const;
+
+  /// Symmetric/random-walk normalisation  D^{r-1} A D^{-r}  (Eq. 1 of the
+  /// paper); `r` = 0.5 gives GCN's D^{-1/2} A D^{-1/2}, r = 1 the
+  /// random-walk variant, r = 0 the reverse-transition variant.
+  CsrMatrix Normalized(float r) const;
+
+ private:
+  int32_t rows_;
+  int32_t cols_;
+  std::vector<int64_t> indptr_;
+  std::vector<int32_t> indices_;
+  std::vector<float> values_;
+};
+
+/// Builds a CSR from an undirected edge list: every {u, v} pair is inserted
+/// both ways with value 1; duplicates collapse to a single entry of value 1.
+CsrMatrix CsrFromUndirectedEdges(
+    int32_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_CSR_H_

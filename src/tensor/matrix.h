@@ -1,0 +1,116 @@
+#ifndef ADAFGL_TENSOR_MATRIX_H_
+#define ADAFGL_TENSOR_MATRIX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief Dense row-major float32 matrix.
+///
+/// The single dense container used throughout the library: node features,
+/// model weights, probability/propagation matrices, gradients. Kept
+/// deliberately simple — shape + flat buffer — with all numerical kernels as
+/// free functions in matrix_ops.h so they are individually testable.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    ADAFGL_CHECK(rows >= 0 && cols >= 0);
+  }
+  Matrix(int64_t rows, int64_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    ADAFGL_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& At(int64_t r, int64_t c) {
+    ADAFGL_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float At(int64_t r, int64_t c) const {
+    ADAFGL_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  // Unchecked access for hot loops.
+  float& operator()(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int64_t r) { return data_.data() + r * cols_; }
+  const float* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Identity matrix of order n.
+  static Matrix Identity(int64_t n) {
+    Matrix m(n, n);
+    for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+    return m;
+  }
+
+  /// Matrix with every entry equal to `v`.
+  static Matrix Constant(int64_t rows, int64_t cols, float v) {
+    Matrix m(rows, cols);
+    m.Fill(v);
+    return m;
+  }
+
+  /// Entries drawn i.i.d. uniform in [lo, hi).
+  static Matrix Uniform(int64_t rows, int64_t cols, float lo, float hi,
+                        Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+    return m;
+  }
+
+  /// Entries drawn i.i.d. N(0, std^2).
+  static Matrix Gaussian(int64_t rows, int64_t cols, float std, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) v = static_cast<float>(rng.Normal() * std);
+    return m;
+  }
+
+  /// Glorot/Xavier uniform initialisation for a (fan_in x fan_out) weight.
+  static Matrix Glorot(int64_t fan_in, int64_t fan_out, Rng& rng) {
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return Uniform(fan_in, fan_out, -bound, bound, rng);
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_MATRIX_H_

@@ -1,0 +1,320 @@
+#include "tensor/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adafgl {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b.row(p);
+      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    const float* bi = b.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      float* cp = c.row(p);
+      for (int64_t j = 0; j < n; ++j) cp[j] += av * bi[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  Matrix c = a;
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  Matrix c = a;
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] -= bd[i];
+  return c;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  Matrix c = a;
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix c = a;
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] *= s;
+  return c;
+}
+
+void Axpy(float s, const Matrix& b, Matrix* a) {
+  ADAFGL_CHECK(a != nullptr && a->SameShape(b));
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) ad[i] += s * bd[i];
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(b.rows() == 1 && b.cols() == a.cols());
+  Matrix c = a;
+  const float* bd = b.data();
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    float* ci = c.row(i);
+    for (int64_t j = 0; j < c.cols(); ++j) ci[j] += bd[j];
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix c(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c(j, i) = ai[j];
+  }
+  return c;
+}
+
+Matrix Softmax(const Matrix& a) {
+  Matrix c = a;
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    float* ci = c.row(i);
+    float mx = ci[0];
+    for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c.cols(); ++j) {
+      ci[j] = std::exp(ci[j] - mx);
+      sum += ci[j];
+    }
+    const float inv = 1.0f / std::max(sum, 1e-30f);
+    for (int64_t j = 0; j < c.cols(); ++j) ci[j] *= inv;
+  }
+  return c;
+}
+
+Matrix LogSoftmax(const Matrix& a) {
+  Matrix c = a;
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    float* ci = c.row(i);
+    float mx = ci[0];
+    for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c.cols(); ++j) sum += std::exp(ci[j] - mx);
+    const float lse = mx + std::log(std::max(sum, 1e-30f));
+    for (int64_t j = 0; j < c.cols(); ++j) ci[j] -= lse;
+  }
+  return c;
+}
+
+Matrix Relu(const Matrix& a) {
+  Matrix c = a;
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] = std::max(cd[i], 0.0f);
+  return c;
+}
+
+Matrix TanhMat(const Matrix& a) {
+  Matrix c = a;
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] = std::tanh(cd[i]);
+  return c;
+}
+
+Matrix SigmoidMat(const Matrix& a) {
+  Matrix c = a;
+  float* cd = c.data();
+  for (int64_t i = 0; i < c.size(); ++i) {
+    cd[i] = 1.0f / (1.0f + std::exp(-cd[i]));
+  }
+  return c;
+}
+
+Matrix ColMean(const Matrix& a) {
+  Matrix c(1, a.cols());
+  if (a.rows() == 0) return c;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c(0, j) += ai[j];
+  }
+  const float inv = 1.0f / static_cast<float>(a.rows());
+  for (int64_t j = 0; j < a.cols(); ++j) c(0, j) *= inv;
+  return c;
+}
+
+float SumAll(const Matrix& a) {
+  double acc = 0.0;
+  const float* d = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += d[i];
+  return static_cast<float>(acc);
+}
+
+float FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  const float* d = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(d[i]) * d[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float FrobeniusDistanceSquared(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  double acc = 0.0;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(ad[i]) - bd[i];
+    acc += diff * diff;
+  }
+  return static_cast<float>(acc);
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.rows() == b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* ci = c.row(i);
+    std::copy(a.row(i), a.row(i) + a.cols(), ci);
+    std::copy(b.row(i), b.row(i) + b.cols(), ci + a.cols());
+  }
+  return c;
+}
+
+Matrix ConcatColsAll(const std::vector<Matrix>& mats) {
+  ADAFGL_CHECK(!mats.empty());
+  int64_t total_cols = 0;
+  for (const Matrix& m : mats) {
+    ADAFGL_CHECK(m.rows() == mats[0].rows());
+    total_cols += m.cols();
+  }
+  Matrix c(mats[0].rows(), total_cols);
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    float* ci = c.row(i);
+    int64_t off = 0;
+    for (const Matrix& m : mats) {
+      std::copy(m.row(i), m.row(i) + m.cols(), ci + off);
+      off += m.cols();
+    }
+  }
+  return c;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& index) {
+  Matrix c(static_cast<int64_t>(index.size()), a.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    const int32_t r = index[i];
+    ADAFGL_CHECK(r >= 0 && r < a.rows());
+    std::copy(a.row(r), a.row(r) + a.cols(), c.row(static_cast<int64_t>(i)));
+  }
+  return c;
+}
+
+void RowL2NormalizeInPlace(Matrix* a) {
+  ADAFGL_CHECK(a != nullptr);
+  for (int64_t i = 0; i < a->rows(); ++i) {
+    float* ai = a->row(i);
+    double acc = 0.0;
+    for (int64_t j = 0; j < a->cols(); ++j) {
+      acc += static_cast<double>(ai[j]) * ai[j];
+    }
+    if (acc <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(acc));
+    for (int64_t j = 0; j < a->cols(); ++j) ai[j] *= inv;
+  }
+}
+
+std::vector<int32_t> ArgmaxRows(const Matrix& a) {
+  std::vector<int32_t> out(static_cast<size_t>(a.rows()), 0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    int32_t best = 0;
+    for (int64_t j = 1; j < a.cols(); ++j) {
+      if (ai[j] > ai[best]) best = static_cast<int32_t>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double Accuracy(const Matrix& logits, const std::vector<int32_t>& labels,
+                const std::vector<int32_t>& mask) {
+  if (mask.empty()) return 0.0;
+  ADAFGL_CHECK(static_cast<int64_t>(labels.size()) == logits.rows());
+  int64_t correct = 0;
+  for (int32_t r : mask) {
+    ADAFGL_CHECK(r >= 0 && r < logits.rows());
+    const float* ai = logits.row(r);
+    int32_t best = 0;
+    for (int64_t j = 1; j < logits.cols(); ++j) {
+      if (ai[j] > ai[best]) best = static_cast<int32_t>(j);
+    }
+    if (best == labels[static_cast<size_t>(r)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(mask.size());
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  double acc = 0.0;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(ad[i]) * bd[i];
+  }
+  return acc;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  ADAFGL_CHECK(a.SameShape(b));
+  float mx = 0.0f;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(ad[i] - bd[i]));
+  }
+  return mx;
+}
+
+}  // namespace adafgl

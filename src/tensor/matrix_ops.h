@@ -1,0 +1,96 @@
+#ifndef ADAFGL_TENSOR_MATRIX_OPS_H_
+#define ADAFGL_TENSOR_MATRIX_OPS_H_
+
+#include "tensor/matrix.h"
+
+namespace adafgl {
+
+/// Dense numerical kernels over Matrix. All functions are pure (inputs by
+/// const reference, result returned by value) unless the name says otherwise.
+
+/// C = A * B.  Requires a.cols() == b.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.  Requires a.rows() == b.rows().
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.  Requires a.cols() == b.cols().
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Elementwise a + b.
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Elementwise a - b.
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Elementwise a * b (Hadamard product).
+Matrix Mul(const Matrix& a, const Matrix& b);
+
+/// Elementwise s * a.
+Matrix Scale(const Matrix& a, float s);
+
+/// In-place a += s * b.
+void Axpy(float s, const Matrix& b, Matrix* a);
+
+/// Adds a 1 x cols row-vector b to every row of a.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& b);
+
+/// Transpose.
+Matrix Transpose(const Matrix& a);
+
+/// Row-wise softmax.
+Matrix Softmax(const Matrix& a);
+
+/// Row-wise log-softmax (numerically stable).
+Matrix LogSoftmax(const Matrix& a);
+
+/// Elementwise max(a, 0).
+Matrix Relu(const Matrix& a);
+
+/// Elementwise tanh.
+Matrix TanhMat(const Matrix& a);
+
+/// Elementwise logistic sigmoid.
+Matrix SigmoidMat(const Matrix& a);
+
+/// Column-wise mean as a 1 x cols matrix.
+Matrix ColMean(const Matrix& a);
+
+/// Sum of column `c` over the given rows (all rows if `rows` empty).
+float SumAll(const Matrix& a);
+
+/// Frobenius norm ||a||_F.
+float FrobeniusNorm(const Matrix& a);
+
+/// Squared Frobenius distance ||a - b||_F^2.
+float FrobeniusDistanceSquared(const Matrix& a, const Matrix& b);
+
+/// Horizontal concatenation [a | b].
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+/// Horizontal concatenation of several matrices with equal row counts.
+Matrix ConcatColsAll(const std::vector<Matrix>& mats);
+
+/// Rows of `a` selected by `index` (gather).
+Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& index);
+
+/// L2-normalises every row in place; zero rows are left untouched.
+void RowL2NormalizeInPlace(Matrix* a);
+
+/// Per-row argmax as a vector of column indices.
+std::vector<int32_t> ArgmaxRows(const Matrix& a);
+
+/// Fraction of rows whose argmax equals labels[row], over rows in `mask`.
+/// `mask` holds row indices. Returns 0 when mask is empty.
+double Accuracy(const Matrix& logits, const std::vector<int32_t>& labels,
+                const std::vector<int32_t>& mask);
+
+/// Dot product of the flattened matrices. Requires same shape.
+double Dot(const Matrix& a, const Matrix& b);
+
+/// Maximum absolute entry difference; convenient for tests.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_MATRIX_OPS_H_

@@ -1,0 +1,469 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/matrix_ops.h"
+
+namespace adafgl {
+namespace ops {
+
+namespace {
+
+/// Creates an interior node. requires_grad if any parent requires it.
+Tensor MakeOpNode(Matrix value, std::vector<Tensor> parents,
+                  std::function<void(TensorNode&)> backward) {
+  bool needs = false;
+  for (const Tensor& p : parents) needs = needs || p->requires_grad();
+  Tensor node = std::make_shared<TensorNode>(std::move(value), needs);
+  if (needs) {
+    node->set_parents(std::move(parents));
+    node->set_backward_fn(std::move(backward));
+  }
+  return node;
+}
+
+Matrix ScalarMatrix(float v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return m;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix value = adafgl::MatMul(a->value(), b->value());
+  return MakeOpNode(
+      std::move(value), {a, b}, [a, b](TensorNode& n) {
+        if (a->requires_grad()) {
+          a->AccumulateGrad(adafgl::MatMulTransB(n.grad(), b->value()));
+        }
+        if (b->requires_grad()) {
+          b->AccumulateGrad(adafgl::MatMulTransA(a->value(), n.grad()));
+        }
+      });
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  Matrix value = adafgl::MatMulTransB(a->value(), b->value());
+  return MakeOpNode(
+      std::move(value), {a, b}, [a, b](TensorNode& n) {
+        // c = a b^T;  dL/da = g b;  dL/db = g^T a.
+        if (a->requires_grad()) {
+          a->AccumulateGrad(adafgl::MatMul(n.grad(), b->value()));
+        }
+        if (b->requires_grad()) {
+          b->AccumulateGrad(adafgl::MatMulTransA(n.grad(), a->value()));
+        }
+      });
+}
+
+Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
+  ADAFGL_CHECK(a != nullptr);
+  Matrix value = a->Multiply(x->value());
+  return MakeOpNode(
+      std::move(value), {x}, [a, x](TensorNode& n) {
+        if (x->requires_grad()) {
+          x->AccumulateGrad(a->MultiplyTranspose(n.grad()));
+        }
+      });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Matrix value = adafgl::Add(a->value(), b->value());
+  return MakeOpNode(std::move(value), {a, b}, [a, b](TensorNode& n) {
+    if (a->requires_grad()) a->AccumulateGrad(n.grad());
+    if (b->requires_grad()) b->AccumulateGrad(n.grad());
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Matrix value = adafgl::Sub(a->value(), b->value());
+  return MakeOpNode(std::move(value), {a, b}, [a, b](TensorNode& n) {
+    if (a->requires_grad()) a->AccumulateGrad(n.grad());
+    if (b->requires_grad()) b->AccumulateGrad(adafgl::Scale(n.grad(), -1.0f));
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Matrix value = adafgl::Mul(a->value(), b->value());
+  return MakeOpNode(std::move(value), {a, b}, [a, b](TensorNode& n) {
+    if (a->requires_grad()) {
+      a->AccumulateGrad(adafgl::Mul(n.grad(), b->value()));
+    }
+    if (b->requires_grad()) {
+      b->AccumulateGrad(adafgl::Mul(n.grad(), a->value()));
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Matrix value = adafgl::Scale(a->value(), s);
+  return MakeOpNode(std::move(value), {a}, [a, s](TensorNode& n) {
+    if (a->requires_grad()) a->AccumulateGrad(adafgl::Scale(n.grad(), s));
+  });
+}
+
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
+  ADAFGL_CHECK(s->rows() == 1 && s->cols() == 1);
+  const float sv = s->value()(0, 0);
+  Matrix value = adafgl::Scale(a->value(), sv);
+  return MakeOpNode(std::move(value), {a, s}, [a, s, sv](TensorNode& n) {
+    if (a->requires_grad()) a->AccumulateGrad(adafgl::Scale(n.grad(), sv));
+    if (s->requires_grad()) {
+      s->AccumulateGrad(
+          ScalarMatrix(static_cast<float>(adafgl::Dot(n.grad(), a->value()))));
+    }
+  });
+}
+
+Tensor Lerp(const Tensor& a, const Tensor& b, const Tensor& gamma) {
+  ADAFGL_CHECK(gamma->rows() == 1 && gamma->cols() == 1);
+  const float g = gamma->value()(0, 0);
+  Matrix value =
+      adafgl::Add(adafgl::Scale(a->value(), g),
+                  adafgl::Scale(b->value(), 1.0f - g));
+  return MakeOpNode(
+      std::move(value), {a, b, gamma}, [a, b, gamma, g](TensorNode& n) {
+        if (a->requires_grad()) a->AccumulateGrad(adafgl::Scale(n.grad(), g));
+        if (b->requires_grad()) {
+          b->AccumulateGrad(adafgl::Scale(n.grad(), 1.0f - g));
+        }
+        if (gamma->requires_grad()) {
+          const Matrix diff = adafgl::Sub(a->value(), b->value());
+          gamma->AccumulateGrad(
+              ScalarMatrix(static_cast<float>(adafgl::Dot(n.grad(), diff))));
+        }
+      });
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  Matrix value = adafgl::AddRowBroadcast(x->value(), bias->value());
+  return MakeOpNode(std::move(value), {x, bias}, [x, bias](TensorNode& n) {
+    if (x->requires_grad()) x->AccumulateGrad(n.grad());
+    if (bias->requires_grad()) {
+      Matrix gb(1, n.grad().cols());
+      for (int64_t i = 0; i < n.grad().rows(); ++i) {
+        const float* gi = n.grad().row(i);
+        for (int64_t j = 0; j < n.grad().cols(); ++j) gb(0, j) += gi[j];
+      }
+      bias->AccumulateGrad(gb);
+    }
+  });
+}
+
+Tensor Relu(const Tensor& x) {
+  Matrix value = adafgl::Relu(x->value());
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    Matrix g = n.grad();
+    const float* v = x->value().data();
+    float* gd = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (v[i] <= 0.0f) gd[i] = 0.0f;
+    }
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor Tanh(const Tensor& x) {
+  Matrix value = adafgl::TanhMat(x->value());
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    Matrix g = n.grad();
+    const float* y = n.value().data();
+    float* gd = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) gd[i] *= (1.0f - y[i] * y[i]);
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Matrix value = adafgl::SigmoidMat(x->value());
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    Matrix g = n.grad();
+    const float* y = n.value().data();
+    float* gd = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) gd[i] *= y[i] * (1.0f - y[i]);
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng& rng) {
+  if (!training || p <= 0.0f) return x;
+  ADAFGL_CHECK(p < 1.0f);
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<Matrix>(x->rows(), x->cols());
+  for (int64_t i = 0; i < mask->size(); ++i) {
+    mask->data()[i] = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  Matrix value = adafgl::Mul(x->value(), *mask);
+  return MakeOpNode(std::move(value), {x}, [x, mask](TensorNode& n) {
+    if (x->requires_grad()) {
+      x->AccumulateGrad(adafgl::Mul(n.grad(), *mask));
+    }
+  });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& xs) {
+  ADAFGL_CHECK(!xs.empty());
+  std::vector<Matrix> vals;
+  vals.reserve(xs.size());
+  for (const Tensor& t : xs) vals.push_back(t->value());
+  Matrix value = adafgl::ConcatColsAll(vals);
+  std::vector<Tensor> parents = xs;
+  return MakeOpNode(std::move(value), parents, [parents](TensorNode& n) {
+    int64_t off = 0;
+    for (const Tensor& p : parents) {
+      if (p->requires_grad()) {
+        Matrix g(p->rows(), p->cols());
+        for (int64_t i = 0; i < g.rows(); ++i) {
+          const float* src = n.grad().row(i) + off;
+          std::copy(src, src + g.cols(), g.row(i));
+        }
+        p->AccumulateGrad(g);
+      }
+      off += p->cols();
+    }
+  });
+}
+
+Tensor Softmax(const Tensor& x) {
+  Matrix value = adafgl::Softmax(x->value());
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    // dL/dx_ij = p_ij * (g_ij - sum_k g_ik p_ik)
+    Matrix g(n.grad().rows(), n.grad().cols());
+    for (int64_t i = 0; i < g.rows(); ++i) {
+      const float* pi = n.value().row(i);
+      const float* gi = n.grad().row(i);
+      double dot = 0.0;
+      for (int64_t j = 0; j < g.cols(); ++j) dot += gi[j] * pi[j];
+      float* out = g.row(i);
+      for (int64_t j = 0; j < g.cols(); ++j) {
+        out[j] = pi[j] * (gi[j] - static_cast<float>(dot));
+      }
+    }
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  Matrix value = adafgl::LogSoftmax(x->value());
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    // dL/dx_ij = g_ij - softmax(x)_ij * sum_k g_ik
+    Matrix g(n.grad().rows(), n.grad().cols());
+    for (int64_t i = 0; i < g.rows(); ++i) {
+      const float* li = n.value().row(i);
+      const float* gi = n.grad().row(i);
+      double gsum = 0.0;
+      for (int64_t j = 0; j < g.cols(); ++j) gsum += gi[j];
+      float* out = g.row(i);
+      for (int64_t j = 0; j < g.cols(); ++j) {
+        out[j] = gi[j] - std::exp(li[j]) * static_cast<float>(gsum);
+      }
+    }
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int32_t>& labels,
+               const std::vector<int32_t>& mask) {
+  ADAFGL_CHECK(!mask.empty());
+  ADAFGL_CHECK(static_cast<int64_t>(labels.size()) == log_probs->rows());
+  double loss = 0.0;
+  for (int32_t r : mask) {
+    ADAFGL_CHECK(r >= 0 && r < log_probs->rows());
+    const int32_t y = labels[static_cast<size_t>(r)];
+    ADAFGL_CHECK(y >= 0 && y < log_probs->cols());
+    loss -= log_probs->value()(r, y);
+  }
+  loss /= static_cast<double>(mask.size());
+  auto labels_copy = std::make_shared<std::vector<int32_t>>(labels);
+  auto mask_copy = std::make_shared<std::vector<int32_t>>(mask);
+  return MakeOpNode(
+      ScalarMatrix(static_cast<float>(loss)), {log_probs},
+      [log_probs, labels_copy, mask_copy](TensorNode& n) {
+        if (!log_probs->requires_grad()) return;
+        const float scale =
+            n.grad()(0, 0) / static_cast<float>(mask_copy->size());
+        Matrix g(log_probs->rows(), log_probs->cols());
+        for (int32_t r : *mask_copy) {
+          g(r, (*labels_copy)[static_cast<size_t>(r)]) -= scale;
+        }
+        log_probs->AccumulateGrad(g);
+      });
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int32_t>& labels,
+                              const std::vector<int32_t>& mask) {
+  return NllLoss(LogSoftmax(logits), labels, mask);
+}
+
+Tensor ProbNllLoss(const Tensor& probs, const std::vector<int32_t>& labels,
+                   const std::vector<int32_t>& mask) {
+  ADAFGL_CHECK(!mask.empty());
+  constexpr float kEps = 1e-8f;
+  double loss = 0.0;
+  for (int32_t r : mask) {
+    const int32_t y = labels[static_cast<size_t>(r)];
+    loss -= std::log(std::max(probs->value()(r, y), kEps));
+  }
+  loss /= static_cast<double>(mask.size());
+  auto labels_copy = std::make_shared<std::vector<int32_t>>(labels);
+  auto mask_copy = std::make_shared<std::vector<int32_t>>(mask);
+  return MakeOpNode(
+      ScalarMatrix(static_cast<float>(loss)), {probs},
+      [probs, labels_copy, mask_copy](TensorNode& n) {
+        if (!probs->requires_grad()) return;
+        const float scale =
+            n.grad()(0, 0) / static_cast<float>(mask_copy->size());
+        Matrix g(probs->rows(), probs->cols());
+        for (int32_t r : *mask_copy) {
+          const int32_t y = (*labels_copy)[static_cast<size_t>(r)];
+          g(r, y) -= scale / std::max(probs->value()(r, y), 1e-8f);
+        }
+        probs->AccumulateGrad(g);
+      });
+}
+
+Tensor FrobeniusLoss(const Tensor& a, const Matrix& target) {
+  ADAFGL_CHECK(a->value().SameShape(target));
+  const float dist2 = FrobeniusDistanceSquared(a->value(), target);
+  const float norm = std::sqrt(std::max(dist2, 1e-12f));
+  auto target_copy = std::make_shared<Matrix>(target);
+  return MakeOpNode(ScalarMatrix(norm), {a},
+                    [a, target_copy, norm](TensorNode& n) {
+                      if (!a->requires_grad()) return;
+                      // d||a - t||_F / da = (a - t) / ||a - t||_F.
+                      Matrix g = adafgl::Sub(a->value(), *target_copy);
+                      const float s = n.grad()(0, 0) / std::max(norm, 1e-12f);
+                      a->AccumulateGrad(adafgl::Scale(g, s));
+                    });
+}
+
+Tensor MseLoss(const Tensor& a, const Matrix& target) {
+  ADAFGL_CHECK(a->value().SameShape(target));
+  const float mse = FrobeniusDistanceSquared(a->value(), target) /
+                    static_cast<float>(std::max<int64_t>(a->value().size(), 1));
+  auto target_copy = std::make_shared<Matrix>(target);
+  return MakeOpNode(ScalarMatrix(mse), {a}, [a, target_copy](TensorNode& n) {
+    if (!a->requires_grad()) return;
+    Matrix g = adafgl::Sub(a->value(), *target_copy);
+    const float s =
+        n.grad()(0, 0) * 2.0f / static_cast<float>(a->value().size());
+    a->AccumulateGrad(adafgl::Scale(g, s));
+  });
+}
+
+Tensor L1Penalty(const Tensor& a) {
+  double acc = 0.0;
+  const float* d = a->value().data();
+  for (int64_t i = 0; i < a->value().size(); ++i) acc += std::abs(d[i]);
+  acc /= static_cast<double>(std::max<int64_t>(a->value().size(), 1));
+  return MakeOpNode(
+      ScalarMatrix(static_cast<float>(acc)), {a}, [a](TensorNode& n) {
+        if (!a->requires_grad()) return;
+        Matrix g(a->rows(), a->cols());
+        const float s =
+            n.grad()(0, 0) / static_cast<float>(a->value().size());
+        const float* v = a->value().data();
+        float* gd = g.data();
+        for (int64_t i = 0; i < g.size(); ++i) {
+          gd[i] = v[i] > 0.0f ? s : (v[i] < 0.0f ? -s : 0.0f);
+        }
+        a->AccumulateGrad(g);
+      });
+}
+
+Tensor AddScalars(const std::vector<Tensor>& xs) {
+  ADAFGL_CHECK(!xs.empty());
+  Tensor acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = Add(acc, xs[i]);
+  return acc;
+}
+
+Tensor MeanOf(const std::vector<Tensor>& xs) {
+  ADAFGL_CHECK(!xs.empty());
+  Tensor acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = Add(acc, xs[i]);
+  return Scale(acc, 1.0f / static_cast<float>(xs.size()));
+}
+
+Tensor AddConst(const Tensor& x, const Matrix& c) {
+  Matrix value = adafgl::Add(x->value(), c);
+  return MakeOpNode(std::move(value), {x}, [x](TensorNode& n) {
+    if (x->requires_grad()) x->AccumulateGrad(n.grad());
+  });
+}
+
+Tensor ScaleRows(const Tensor& x, const Tensor& s) {
+  ADAFGL_CHECK(s->cols() == 1 && s->rows() == x->rows());
+  Matrix value = x->value();
+  for (int64_t i = 0; i < value.rows(); ++i) {
+    const float si = s->value()(i, 0);
+    float* vi = value.row(i);
+    for (int64_t j = 0; j < value.cols(); ++j) vi[j] *= si;
+  }
+  return MakeOpNode(std::move(value), {x, s}, [x, s](TensorNode& n) {
+    if (x->requires_grad()) {
+      Matrix g = n.grad();
+      for (int64_t i = 0; i < g.rows(); ++i) {
+        const float si = s->value()(i, 0);
+        float* gi = g.row(i);
+        for (int64_t j = 0; j < g.cols(); ++j) gi[j] *= si;
+      }
+      x->AccumulateGrad(g);
+    }
+    if (s->requires_grad()) {
+      Matrix gs(s->rows(), 1);
+      for (int64_t i = 0; i < gs.rows(); ++i) {
+        const float* gi = n.grad().row(i);
+        const float* xi = x->value().row(i);
+        double acc = 0.0;
+        for (int64_t j = 0; j < n.grad().cols(); ++j) acc += gi[j] * xi[j];
+        gs(i, 0) = static_cast<float>(acc);
+      }
+      s->AccumulateGrad(gs);
+    }
+  });
+}
+
+Tensor SliceCols(const Tensor& x, int64_t begin, int64_t count) {
+  ADAFGL_CHECK(begin >= 0 && count >= 0 && begin + count <= x->cols());
+  Matrix value(x->rows(), count);
+  for (int64_t i = 0; i < value.rows(); ++i) {
+    const float* src = x->value().row(i) + begin;
+    std::copy(src, src + count, value.row(i));
+  }
+  return MakeOpNode(std::move(value), {x}, [x, begin, count](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    Matrix g(x->rows(), x->cols());
+    for (int64_t i = 0; i < g.rows(); ++i) {
+      const float* src = n.grad().row(i);
+      std::copy(src, src + count, g.row(i) + begin);
+    }
+    x->AccumulateGrad(g);
+  });
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<int32_t>& index) {
+  Matrix value = adafgl::GatherRows(x->value(), index);
+  auto index_copy = std::make_shared<std::vector<int32_t>>(index);
+  return MakeOpNode(std::move(value), {x}, [x, index_copy](TensorNode& n) {
+    if (!x->requires_grad()) return;
+    Matrix g(x->rows(), x->cols());
+    for (size_t i = 0; i < index_copy->size(); ++i) {
+      const float* src = n.grad().row(static_cast<int64_t>(i));
+      float* dst = g.row((*index_copy)[i]);
+      for (int64_t j = 0; j < g.cols(); ++j) dst[j] += src[j];
+    }
+    x->AccumulateGrad(g);
+  });
+}
+
+}  // namespace ops
+}  // namespace adafgl

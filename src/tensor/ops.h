@@ -1,0 +1,114 @@
+#ifndef ADAFGL_TENSOR_OPS_H_
+#define ADAFGL_TENSOR_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/csr.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adafgl {
+
+/// Differentiable operations over Tensor handles. Every op creates a new
+/// graph node whose backward closure scatters gradients to its parents.
+namespace ops {
+
+/// c = a * b (dense matmul).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// c = a * b^T. Used for Gram products H H^T (pass the same tensor twice).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// c = A * x, A a fixed sparse operator (adjacency / propagation matrix).
+/// The shared_ptr keeps A alive for the backward pass.
+Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x);
+
+/// Elementwise sum (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise difference (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise product (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// s * a for a compile-time-known scalar s.
+Tensor Scale(const Tensor& a, float s);
+
+/// s * a where s is a 1x1 tensor (learnable scalar).
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s);
+
+/// gamma * a + (1 - gamma) * b where gamma is a 1x1 tensor.
+Tensor Lerp(const Tensor& a, const Tensor& b, const Tensor& gamma);
+
+/// x + row-broadcast bias (bias is 1 x cols).
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+/// max(x, 0).
+Tensor Relu(const Tensor& x);
+
+/// tanh(x).
+Tensor Tanh(const Tensor& x);
+
+/// logistic sigmoid.
+Tensor Sigmoid(const Tensor& x);
+
+/// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, bool training, Rng& rng);
+
+/// Horizontal concatenation along columns.
+Tensor ConcatCols(const std::vector<Tensor>& xs);
+
+/// Row-wise softmax.
+Tensor Softmax(const Tensor& x);
+
+/// Row-wise log-softmax.
+Tensor LogSoftmax(const Tensor& x);
+
+/// Mean over `mask` rows of -log_probs[r, labels[r]]. Scalar output.
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int32_t>& labels,
+               const std::vector<int32_t>& mask);
+
+/// Cross entropy on raw logits (LogSoftmax + NllLoss fused at API level).
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int32_t>& labels,
+                              const std::vector<int32_t>& mask);
+
+/// Mean over `mask` rows of -log(probs[r, labels[r]]). For predictions that
+/// are already probability mixtures (AdaFGL Eq. 17). Probabilities are
+/// clamped at 1e-8.
+Tensor ProbNllLoss(const Tensor& probs, const std::vector<int32_t>& labels,
+                   const std::vector<int32_t>& mask);
+
+/// Frobenius norm ||a - target||_F against a constant target (Eq. 8).
+Tensor FrobeniusLoss(const Tensor& a, const Matrix& target);
+
+/// Mean squared error against a constant target. Scalar output.
+Tensor MseLoss(const Tensor& a, const Matrix& target);
+
+/// Mean absolute value of entries (L1 regulariser for sparse masks).
+Tensor L1Penalty(const Tensor& a);
+
+/// Sum of scalar (1x1) tensors.
+Tensor AddScalars(const std::vector<Tensor>& xs);
+
+/// Mean of same-shaped tensors.
+Tensor MeanOf(const std::vector<Tensor>& xs);
+
+/// x + c for a constant matrix c (gradient passes through to x only).
+Tensor AddConst(const Tensor& x, const Matrix& c);
+
+/// Row-wise scaling: out[i, j] = x[i, j] * s[i, 0] (s is n x 1).
+Tensor ScaleRows(const Tensor& x, const Tensor& s);
+
+/// Column slice [begin, begin + count) of x.
+Tensor SliceCols(const Tensor& x, int64_t begin, int64_t count);
+
+/// Row gather: out[i, :] = x[index[i], :].
+Tensor GatherRows(const Tensor& x, const std::vector<int32_t>& index);
+
+}  // namespace ops
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_OPS_H_

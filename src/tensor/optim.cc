@@ -1,0 +1,54 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+void Sgd::Step() {
+  for (const Tensor& p : params_) {
+    if (p->grad().empty()) continue;
+    float* w = p->mutable_value().data();
+    const float* g = p->grad().data();
+    for (int64_t i = 0; i < p->value().size(); ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float weight_decay,
+           float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay),
+      beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const Tensor& p = params_[k];
+    if (p->grad().empty()) continue;
+    float* w = p->mutable_value().data();
+    const float* g = p->grad().data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (int64_t i = 0; i < p->value().size(); ++i) {
+      const float gi = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace adafgl

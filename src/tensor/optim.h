@@ -1,0 +1,68 @@
+#ifndef ADAFGL_TENSOR_OPTIM_H_
+#define ADAFGL_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adafgl {
+
+/// \brief Interface for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (const Tensor& p : params_) p->ZeroGrad();
+  }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// \brief Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// \brief Adam (Kingma & Ba) with decoupled L2 on the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float weight_decay = 0.0f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_OPTIM_H_

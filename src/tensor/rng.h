@@ -1,0 +1,102 @@
+#ifndef ADAFGL_TENSOR_RNG_H_
+#define ADAFGL_TENSOR_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64).
+///
+/// Every stochastic component of the library (dataset generation, splits,
+/// dropout, initialisation, masking) takes an explicit `Rng&` so whole
+/// experiments replay bit-identically from a single seed. There is no global
+/// RNG state anywhere in the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n) {
+    ADAFGL_CHECK(n > 0);
+    // Rejection sampling for unbiased bounded integers.
+    const uint64_t un = static_cast<uint64_t>(n);
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+    uint64_t v = NextU64();
+    while (v >= limit) v = NextU64();
+    return static_cast<int64_t>(v % un);
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = Uniform();
+    double u2 = Uniform();
+    // Guard against log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Forks an independent child stream; deterministic given this stream's
+  /// state and `stream_id`.
+  Rng Fork(uint64_t stream_id) {
+    return Rng(NextU64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_RNG_H_

@@ -1,0 +1,122 @@
+#ifndef ADAFGL_TENSOR_STATUS_H_
+#define ADAFGL_TENSOR_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace adafgl {
+
+/// \brief Lightweight status object for fallible library APIs.
+///
+/// The library avoids exceptions (database-style codebase convention);
+/// operations that can fail on user input return `Status` or `Result<T>`.
+/// Programming errors (violated invariants) use `ADAFGL_CHECK` instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kOutOfRange: name = "OUT_OF_RANGE"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Value-or-status result, analogous to absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, mirrors StatusOr.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)), value_() {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// Returns the contained value, aborting if the result holds an error.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace adafgl
+
+/// Aborts with a diagnostic when `cond` is false. Used for invariants that
+/// indicate programming errors, never for user-input validation.
+#define ADAFGL_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::adafgl::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                               \
+  } while (0)
+
+#define ADAFGL_RETURN_IF_ERROR(expr)           \
+  do {                                         \
+    ::adafgl::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // ADAFGL_TENSOR_STATUS_H_

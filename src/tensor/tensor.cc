@@ -1,0 +1,75 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/status.h"
+
+namespace adafgl {
+
+int64_t TensorNode::next_id_ = 0;
+
+void TensorNode::AccumulateGrad(const Matrix& g) {
+  ADAFGL_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols());
+  if (grad_.empty() && g.size() > 0) {
+    grad_ = g;
+    return;
+  }
+  float* gd = grad_.data();
+  const float* sd = g.data();
+  for (int64_t i = 0; i < grad_.size(); ++i) gd[i] += sd[i];
+}
+
+void TensorNode::ZeroGrad() {
+  if (!grad_.empty()) grad_.Zero();
+}
+
+Tensor MakeParam(Matrix value) {
+  return std::make_shared<TensorNode>(std::move(value), /*requires_grad=*/true);
+}
+
+Tensor MakeConst(Matrix value) {
+  return std::make_shared<TensorNode>(std::move(value),
+                                      /*requires_grad=*/false);
+}
+
+namespace {
+
+void CollectReachable(const Tensor& root, std::vector<TensorNode*>* order,
+                      std::unordered_set<TensorNode*>* seen) {
+  // Iterative DFS to avoid stack overflow on deep graphs.
+  std::vector<TensorNode*> stack = {root.get()};
+  while (!stack.empty()) {
+    TensorNode* node = stack.back();
+    stack.pop_back();
+    if (!seen->insert(node).second) continue;
+    order->push_back(node);
+    for (const Tensor& p : node->parents()) stack.push_back(p.get());
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& loss) {
+  ADAFGL_CHECK(loss != nullptr);
+  ADAFGL_CHECK(loss->rows() == 1 && loss->cols() == 1);
+  std::vector<TensorNode*> nodes;
+  std::unordered_set<TensorNode*> seen;
+  CollectReachable(loss, &nodes, &seen);
+  // Creation ids increase from inputs toward outputs, so descending id order
+  // is a valid reverse-topological order of the DAG.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const TensorNode* a, const TensorNode* b) {
+              return a->id() > b->id();
+            });
+  Matrix one(1, 1);
+  one(0, 0) = 1.0f;
+  loss->AccumulateGrad(one);
+  for (TensorNode* node : nodes) {
+    if (node->backward_fn() && !node->grad().empty()) {
+      node->backward_fn()(*node);
+    }
+  }
+}
+
+}  // namespace adafgl

@@ -1,0 +1,87 @@
+#ifndef ADAFGL_TENSOR_TENSOR_H_
+#define ADAFGL_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace adafgl {
+
+class TensorNode;
+
+/// Shared handle to a node in the autograd graph. Ops return new handles;
+/// the graph is torn down when the last handle to a subgraph is dropped.
+using Tensor = std::shared_ptr<TensorNode>;
+
+/// \brief One node of the reverse-mode autodiff graph.
+///
+/// A node owns its forward value and (after Backward) its gradient. Interior
+/// nodes carry a `backward_fn` closure that scatters `grad` into the parents'
+/// gradients. Nodes are created in topological order by construction, so the
+/// monotonically increasing `id` doubles as a topological key for the
+/// backward sweep.
+class TensorNode {
+ public:
+  TensorNode(Matrix value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad),
+        id_(next_id_++) {}
+
+  TensorNode(const TensorNode&) = delete;
+  TensorNode& operator=(const TensorNode&) = delete;
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  /// Gradient accumulated by Backward(); zero-sized until first accumulation.
+  const Matrix& grad() const { return grad_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  int64_t id() const { return id_; }
+  const std::vector<Tensor>& parents() const { return parents_; }
+
+  /// Accumulates `g` into this node's gradient buffer.
+  void AccumulateGrad(const Matrix& g);
+
+  /// Clears the gradient buffer (keeps its allocation).
+  void ZeroGrad();
+
+  int64_t rows() const { return value_.rows(); }
+  int64_t cols() const { return value_.cols(); }
+
+  // --- Graph construction (used by ops; not client API). ---
+  void set_parents(std::vector<Tensor> parents) {
+    parents_ = std::move(parents);
+  }
+  void set_backward_fn(std::function<void(TensorNode&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::function<void(TensorNode&)>& backward_fn() const {
+    return backward_fn_;
+  }
+
+ private:
+  static int64_t next_id_;
+
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  int64_t id_;
+  std::vector<Tensor> parents_;
+  std::function<void(TensorNode&)> backward_fn_;
+};
+
+/// Creates a trainable leaf (participates in gradients).
+Tensor MakeParam(Matrix value);
+
+/// Creates a constant leaf (no gradient flows into it).
+Tensor MakeConst(Matrix value);
+
+/// Runs reverse-mode autodiff from scalar `loss` (must be 1x1); gradients
+/// accumulate into every reachable node with requires_grad.
+void Backward(const Tensor& loss);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_TENSOR_TENSOR_H_

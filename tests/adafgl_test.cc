@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/adafgl.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+FedConfig TinyConfig() {
+  FedConfig cfg;
+  cfg.rounds = 4;
+  cfg.local_epochs = 2;
+  cfg.post_local_epochs = 3;
+  cfg.hidden = 16;
+  cfg.seed = 23;
+  return cfg;
+}
+
+AdaFglOptions TinyOptions() {
+  AdaFglOptions opt;
+  opt.personalized_epochs = 15;
+  opt.hcs_repeats = 2;
+  return opt;
+}
+
+FederatedDataset TinyFederation(InjectionMode mode = InjectionMode::kRandom,
+                                uint64_t seed = 201) {
+  Graph g = MakeSmallSbm(240, 3, 0.85, seed);
+  Rng rng(seed + 1);
+  return StructureNonIidSplit(g, 3, mode, 0.4, rng);
+}
+
+TEST(AdaFglTest, ProducesCompleteResult) {
+  FederatedDataset fd = TinyFederation();
+  AdaFglResult r = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  EXPECT_EQ(r.step1.history.size(), 4u);
+  EXPECT_FALSE(r.step2_epoch_acc.empty());
+  EXPECT_EQ(r.client_test_acc.size(), 3u);
+  EXPECT_EQ(r.client_hcs.size(), 3u);
+  EXPECT_EQ(r.client_heads.size(), 3u);
+  EXPECT_GT(r.final_test_acc, 0.0);
+  EXPECT_LE(r.final_test_acc, 1.0);
+  EXPECT_GT(r.bytes_up, 0);
+}
+
+TEST(AdaFglTest, HcsInUnitInterval) {
+  FederatedDataset fd = TinyFederation();
+  AdaFglResult r = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  for (double hcs : r.client_hcs) {
+    EXPECT_GE(hcs, 0.0);
+    EXPECT_LE(hcs, 1.0);
+  }
+}
+
+TEST(AdaFglTest, LearnsHomophilousTask) {
+  Graph g = MakeSmallSbm(240, 3, 0.9, 205);
+  Rng rng(206);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 3, InjectionMode::kNone, 0.5, rng);
+  FedConfig cfg = TinyConfig();
+  cfg.rounds = 8;
+  AdaFglOptions opt = TinyOptions();
+  opt.personalized_epochs = 30;
+  AdaFglResult r = RunAdaFgl(fd, cfg, opt);
+  EXPECT_GT(r.final_test_acc, 0.55);
+}
+
+TEST(AdaFglTest, HeadDiagnosticsPopulated) {
+  FederatedDataset fd = TinyFederation();
+  AdaFglResult r = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  for (const AdaFglHeadDiagnostics& d : r.client_heads) {
+    EXPECT_GT(d.extractor, 0.0);
+    EXPECT_GT(d.h_tilde, 0.0);
+    EXPECT_GT(d.h_feature, 0.0);
+    EXPECT_GT(d.h_message, 0.0);
+    EXPECT_GT(d.combined, 0.0);
+  }
+}
+
+struct AblationCase {
+  std::string name;
+  void (*apply)(AdaFglOptions*);
+};
+
+class AdaFglAblationTest : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AdaFglAblationTest, RunsWithComponentDisabled) {
+  FederatedDataset fd = TinyFederation(InjectionMode::kRandom, 211);
+  AdaFglOptions opt = TinyOptions();
+  GetParam().apply(&opt);
+  AdaFglResult r = RunAdaFgl(fd, TinyConfig(), opt);
+  EXPECT_GT(r.final_test_acc, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Components, AdaFglAblationTest,
+    ::testing::Values(
+        AblationCase{"NoKnowledgePreserving",
+                     [](AdaFglOptions* o) {
+                       o->use_knowledge_preserving = false;
+                     }},
+        AblationCase{"NoTopologyIndependent",
+                     [](AdaFglOptions* o) {
+                       o->use_topology_independent = false;
+                     }},
+        AblationCase{"NoLearnableMessage",
+                     [](AdaFglOptions* o) {
+                       o->use_learnable_message = false;
+                     }},
+        AblationCase{"NoLocalTopology",
+                     [](AdaFglOptions* o) { o->use_local_topology = false; }},
+        AblationCase{"NoHcs",
+                     [](AdaFglOptions* o) { o->use_hcs = false; }},
+        AblationCase{"FixedCoefficients",
+                     [](AdaFglOptions* o) {
+                       o->adaptive_coefficients = false;
+                       o->alpha = 0.3f;
+                       o->beta = 0.3f;
+                     }}),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AdaFglTest, AblationDropsHeads) {
+  FederatedDataset fd = TinyFederation(InjectionMode::kRandom, 212);
+  AdaFglOptions opt = TinyOptions();
+  opt.use_topology_independent = false;
+  opt.use_learnable_message = false;
+  AdaFglResult r = RunAdaFgl(fd, TinyConfig(), opt);
+  for (const AdaFglHeadDiagnostics& d : r.client_heads) {
+    EXPECT_EQ(d.h_feature, 0.0);  // Head absent.
+    EXPECT_EQ(d.h_message, 0.0);
+  }
+}
+
+TEST(AdaFglTest, DeterministicForFixedSeed) {
+  FederatedDataset fd = TinyFederation(InjectionMode::kRandom, 213);
+  AdaFglResult a = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  AdaFglResult b = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  EXPECT_EQ(a.final_test_acc, b.final_test_acc);
+  EXPECT_EQ(a.client_hcs, b.client_hcs);
+}
+
+TEST(AdaFglTest, AsFedAdapterMatchesFull) {
+  FederatedDataset fd = TinyFederation(InjectionMode::kRandom, 214);
+  AdaFglResult full = RunAdaFgl(fd, TinyConfig(), TinyOptions());
+  FedRunResult as_fed = RunAdaFglAsFed(fd, TinyConfig(), TinyOptions());
+  EXPECT_EQ(as_fed.final_test_acc, full.final_test_acc);
+  EXPECT_EQ(as_fed.client_test_acc, full.client_test_acc);
+  EXPECT_EQ(as_fed.history.size(), full.step1.history.size());
+}
+
+TEST(AdaFglTest, Step2CommunicatesNothing) {
+  FederatedDataset fd = TinyFederation(InjectionMode::kRandom, 215);
+  FedConfig cfg = TinyConfig();
+  AdaFglResult r = RunAdaFgl(fd, cfg, TinyOptions());
+  cfg.post_local_epochs = 0;
+  FedRunResult fedavg = RunFedAvg(fd, cfg);
+  // AdaFGL's total communication equals its Step-1 FedAvg communication.
+  EXPECT_EQ(r.bytes_up, fedavg.bytes_up);
+  EXPECT_EQ(r.bytes_down, fedavg.bytes_down);
+}
+
+}  // namespace
+}  // namespace adafgl

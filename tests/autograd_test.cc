@@ -1,0 +1,328 @@
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tensor/csr.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::CheckGradient;
+
+/// Reduces any tensor to a scalar via a fixed weighted sum, so every op can
+/// be gradient-checked through the same harness.
+Tensor ToScalar(const Tensor& t) {
+  Matrix w(t->cols(), 1);
+  for (int64_t j = 0; j < t->cols(); ++j) {
+    w(j, 0) = 0.1f * static_cast<float>(j + 1);
+  }
+  Matrix ones(1, t->rows());
+  for (int64_t i = 0; i < t->rows(); ++i) {
+    ones(0, i) = 0.05f * static_cast<float>(i + 1);
+  }
+  return ops::MatMul(ops::MatMul(MakeConst(ones), t), MakeConst(w));
+}
+
+/// One gradient-check case: builds loss = scalar(op(param)) and verifies
+/// d loss / d param numerically.
+struct OpCase {
+  std::string name;
+  // Builds the op output from the parameter tensor.
+  std::function<Tensor(const Tensor&)> build;
+  int64_t rows = 3;
+  int64_t cols = 4;
+};
+
+class OpGradientTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OpGradientTest, MatchesNumericalGradient) {
+  const OpCase& c = GetParam();
+  Rng rng(13);
+  Tensor param =
+      MakeParam(Matrix::Gaussian(c.rows, c.cols, 0.7f, rng));
+  auto loss_value = [&]() {
+    return static_cast<double>(ToScalar(c.build(param))->value()(0, 0));
+  };
+  Tensor loss = ToScalar(c.build(param));
+  Backward(loss);
+  CheckGradient(param, loss_value);
+}
+
+std::vector<OpCase> OpCases() {
+  std::vector<OpCase> cases;
+  Rng rng(99);
+  const auto other = std::make_shared<Matrix>(
+      Matrix::Gaussian(3, 4, 0.5f, rng));
+  const auto square = std::make_shared<Matrix>(
+      Matrix::Gaussian(3, 3, 0.5f, rng));
+  const auto csr = std::make_shared<CsrMatrix>(CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0f}, {1, 0, 0.5f}, {1, 2, 2.0f}, {2, 2, 1.5f}}));
+
+  cases.push_back({"Identity", [](const Tensor& x) { return x; }});
+  cases.push_back({"Scale", [](const Tensor& x) {
+    return ops::Scale(x, 2.5f);
+  }});
+  cases.push_back({"AddConst", [other](const Tensor& x) {
+    return ops::AddConst(x, *other);
+  }});
+  cases.push_back({"AddSelf", [](const Tensor& x) {
+    return ops::Add(x, x);
+  }});
+  cases.push_back({"SubConstOther", [other](const Tensor& x) {
+    return ops::Sub(x, MakeConst(*other));
+  }});
+  cases.push_back({"MulConst", [other](const Tensor& x) {
+    return ops::Mul(x, MakeConst(*other));
+  }});
+  cases.push_back({"MulSelf", [](const Tensor& x) {
+    return ops::Mul(x, x);
+  }});
+  cases.push_back({"Relu", [](const Tensor& x) { return ops::Relu(x); }});
+  cases.push_back({"Tanh", [](const Tensor& x) { return ops::Tanh(x); }});
+  cases.push_back({"Sigmoid", [](const Tensor& x) {
+    return ops::Sigmoid(x);
+  }});
+  cases.push_back({"Softmax", [](const Tensor& x) {
+    return ops::Softmax(x);
+  }});
+  cases.push_back({"LogSoftmax", [](const Tensor& x) {
+    return ops::LogSoftmax(x);
+  }});
+  cases.push_back({"MatMulLeft", [other](const Tensor& x) {
+    return ops::MatMul(x, MakeConst(Transpose(*other)));
+  }});
+  cases.push_back({"MatMulRight", [square](const Tensor& x) {
+    return ops::MatMul(MakeConst(*square), x);
+  }});
+  cases.push_back({"MatMulTransB", [other](const Tensor& x) {
+    return ops::MatMulTransB(x, MakeConst(*other));
+  }});
+  cases.push_back({"GramSelf", [](const Tensor& x) {
+    return ops::MatMulTransB(x, x);
+  }});
+  cases.push_back({"SpMM", [csr](const Tensor& x) {
+    return ops::SpMM(csr, x);
+  }});
+  cases.push_back({"ConcatCols", [other](const Tensor& x) {
+    return ops::ConcatCols({x, MakeConst(*other), x});
+  }});
+  cases.push_back({"SliceCols", [](const Tensor& x) {
+    return ops::SliceCols(x, 1, 2);
+  }});
+  cases.push_back({"GatherRows", [](const Tensor& x) {
+    return ops::GatherRows(x, {2, 0, 2});
+  }});
+  cases.push_back({"AddBiasAsInput", [other](const Tensor& x) {
+    Matrix b(1, 4);
+    for (int64_t j = 0; j < 4; ++j) b(0, j) = 0.3f * static_cast<float>(j);
+    return ops::AddBias(x, MakeConst(b));
+  }});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpGradientTest,
+                         ::testing::ValuesIn(OpCases()),
+                         [](const ::testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+// ---------------------------------------------------------- Scalar params
+
+TEST(AutogradTest, ScaleByScalarGradient) {
+  Rng rng(1);
+  Tensor x = MakeConst(Matrix::Gaussian(3, 3, 1.0f, rng));
+  Matrix sv(1, 1);
+  sv(0, 0) = 0.7f;
+  Tensor s = MakeParam(sv);
+  auto loss_value = [&]() {
+    return static_cast<double>(
+        ToScalar(ops::ScaleByScalar(x, s))->value()(0, 0));
+  };
+  Tensor loss = ToScalar(ops::ScaleByScalar(x, s));
+  Backward(loss);
+  CheckGradient(s, loss_value);
+}
+
+TEST(AutogradTest, LerpGradientInAllThreeInputs) {
+  Rng rng(2);
+  Tensor a = MakeParam(Matrix::Gaussian(2, 3, 1.0f, rng));
+  Tensor b = MakeParam(Matrix::Gaussian(2, 3, 1.0f, rng));
+  Matrix gv(1, 1);
+  gv(0, 0) = 0.3f;
+  Tensor g = MakeParam(gv);
+  auto loss_value = [&]() {
+    return static_cast<double>(ToScalar(ops::Lerp(a, b, g))->value()(0, 0));
+  };
+  Tensor loss = ToScalar(ops::Lerp(a, b, g));
+  Backward(loss);
+  CheckGradient(a, loss_value);
+  CheckGradient(b, loss_value);
+  CheckGradient(g, loss_value);
+}
+
+TEST(AutogradTest, ScaleRowsGradientBothInputs) {
+  Rng rng(3);
+  Tensor x = MakeParam(Matrix::Gaussian(3, 4, 1.0f, rng));
+  Tensor s = MakeParam(Matrix::Gaussian(3, 1, 0.5f, rng));
+  auto loss_value = [&]() {
+    return static_cast<double>(
+        ToScalar(ops::ScaleRows(x, s))->value()(0, 0));
+  };
+  Tensor loss = ToScalar(ops::ScaleRows(x, s));
+  Backward(loss);
+  CheckGradient(x, loss_value);
+  CheckGradient(s, loss_value);
+}
+
+// --------------------------------------------------------------- Losses
+
+TEST(AutogradTest, NllLossGradient) {
+  Rng rng(4);
+  Tensor x = MakeParam(Matrix::Gaussian(4, 3, 1.0f, rng));
+  const std::vector<int32_t> labels = {0, 2, 1, 0};
+  const std::vector<int32_t> mask = {0, 1, 3};
+  auto loss_value = [&]() {
+    return static_cast<double>(
+        ops::NllLoss(ops::LogSoftmax(x), labels, mask)->value()(0, 0));
+  };
+  Tensor loss = ops::NllLoss(ops::LogSoftmax(x), labels, mask);
+  Backward(loss);
+  CheckGradient(x, loss_value);
+}
+
+TEST(AutogradTest, ProbNllLossGradient) {
+  Rng rng(5);
+  Tensor x = MakeParam(Matrix::Gaussian(4, 3, 1.0f, rng));
+  const std::vector<int32_t> labels = {0, 2, 1, 0};
+  const std::vector<int32_t> mask = {1, 2};
+  auto loss_value = [&]() {
+    return static_cast<double>(
+        ops::ProbNllLoss(ops::Softmax(x), labels, mask)->value()(0, 0));
+  };
+  Tensor loss = ops::ProbNllLoss(ops::Softmax(x), labels, mask);
+  Backward(loss);
+  CheckGradient(x, loss_value);
+}
+
+TEST(AutogradTest, FrobeniusLossGradient) {
+  Rng rng(6);
+  Tensor x = MakeParam(Matrix::Gaussian(3, 3, 1.0f, rng));
+  Matrix target = Matrix::Gaussian(3, 3, 1.0f, rng);
+  auto loss_value = [&]() {
+    return static_cast<double>(
+        ops::FrobeniusLoss(x, target)->value()(0, 0));
+  };
+  Tensor loss = ops::FrobeniusLoss(x, target);
+  Backward(loss);
+  CheckGradient(x, loss_value);
+}
+
+TEST(AutogradTest, MseLossGradient) {
+  Rng rng(7);
+  Tensor x = MakeParam(Matrix::Gaussian(3, 2, 1.0f, rng));
+  Matrix target = Matrix::Gaussian(3, 2, 1.0f, rng);
+  auto loss_value = [&]() {
+    return static_cast<double>(ops::MseLoss(x, target)->value()(0, 0));
+  };
+  Tensor loss = ops::MseLoss(x, target);
+  Backward(loss);
+  CheckGradient(x, loss_value);
+}
+
+TEST(AutogradTest, L1PenaltyGradient) {
+  // Use values away from 0 so the subgradient is well-defined.
+  Matrix v(2, 2, {1.0f, -2.0f, 3.0f, -0.5f});
+  Tensor x = MakeParam(v);
+  auto loss_value = [&]() {
+    return static_cast<double>(ops::L1Penalty(x)->value()(0, 0));
+  };
+  Tensor loss = ops::L1Penalty(x);
+  Backward(loss);
+  CheckGradient(x, loss_value);
+}
+
+// --------------------------------------------------------- Graph plumbing
+
+TEST(AutogradTest, GradientAccumulatesAcrossTwoUses) {
+  Matrix v(1, 1);
+  v(0, 0) = 3.0f;
+  Tensor x = MakeParam(v);
+  // loss = x * x  ->  dloss/dx = 2x = 6.
+  Tensor loss = ops::Mul(x, x);
+  Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), 6.0f, 1e-4);
+}
+
+TEST(AutogradTest, NoGradientIntoConstants) {
+  Rng rng(8);
+  Tensor c = MakeConst(Matrix::Gaussian(2, 2, 1.0f, rng));
+  Tensor x = MakeParam(Matrix::Gaussian(2, 2, 1.0f, rng));
+  Tensor loss = ToScalar(ops::Add(x, c));
+  Backward(loss);
+  EXPECT_TRUE(c->grad().empty());
+  EXPECT_FALSE(x->grad().empty());
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Matrix v(1, 1);
+  v(0, 0) = 2.0f;
+  Tensor x = MakeParam(v);
+  Backward(ops::Mul(x, x));
+  EXPECT_GT(std::abs(x->grad()(0, 0)), 0.0f);
+  x->ZeroGrad();
+  EXPECT_FLOAT_EQ(x->grad()(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, DropoutEvalIsIdentity) {
+  Rng rng(9);
+  Tensor x = MakeParam(Matrix::Gaussian(4, 4, 1.0f, rng));
+  Tensor out = ops::Dropout(x, 0.5f, /*training=*/false, rng);
+  EXPECT_EQ(out.get(), x.get());
+}
+
+TEST(AutogradTest, DropoutPreservesExpectation) {
+  Rng rng(10);
+  Tensor x = MakeConst(Matrix::Constant(200, 50, 1.0f));
+  Tensor out = ops::Dropout(x, 0.3f, /*training=*/true, rng);
+  // Inverted dropout: E[out] == 1.
+  EXPECT_NEAR(SumAll(out->value()) / 10000.0, 1.0, 0.05);
+}
+
+TEST(AutogradTest, DeepChainBackpropagates) {
+  Matrix v(1, 1);
+  v(0, 0) = 1.0f;
+  Tensor x = MakeParam(v);
+  Tensor h = x;
+  for (int i = 0; i < 50; ++i) h = ops::Scale(h, 1.01f);
+  Backward(h);
+  EXPECT_NEAR(x->grad()(0, 0), std::pow(1.01f, 50.0f), 1e-2);
+}
+
+TEST(AutogradTest, MeanOfAveragesGradients) {
+  Matrix v(1, 1);
+  v(0, 0) = 2.0f;
+  Tensor x = MakeParam(v);
+  Tensor loss = ops::MeanOf({x, x, x, x});
+  Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), 1.0f, 1e-5);
+}
+
+TEST(AutogradTest, AddScalarsSums) {
+  Matrix v(1, 1);
+  v(0, 0) = 1.5f;
+  Tensor x = MakeParam(v);
+  Tensor loss = ops::AddScalars({x, ops::Scale(x, 2.0f)});
+  EXPECT_NEAR(loss->value()(0, 0), 4.5f, 1e-5);
+  Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), 3.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace adafgl

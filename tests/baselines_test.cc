@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "fed/fedgl.h"
+#include "fed/fedpub.h"
+#include "fed/fedsage.h"
+#include "fed/gcfl.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+FedConfig TinyConfig() {
+  FedConfig cfg;
+  cfg.rounds = 4;
+  cfg.local_epochs = 2;
+  cfg.post_local_epochs = 2;
+  cfg.hidden = 16;
+  cfg.seed = 17;
+  return cfg;
+}
+
+FederatedDataset TinyFederation(uint64_t seed = 101) {
+  Graph g = MakeSmallSbm(240, 3, 0.85, seed);
+  Rng rng(seed + 1);
+  return StructureNonIidSplit(g, 3, InjectionMode::kRandom, 0.4, rng);
+}
+
+TEST(FedGlTest, RunsAndLearns) {
+  FederatedDataset fd = TinyFederation();
+  FedRunResult r = RunFedGL(fd, TinyConfig());
+  EXPECT_EQ(r.history.size(), 4u);
+  EXPECT_GT(r.final_test_acc, 0.4);
+  EXPECT_EQ(r.client_test_acc.size(), 3u);
+}
+
+TEST(FedGlTest, UploadsPredictionsBeyondModelBytes) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult fedgl = RunFedGL(fd, cfg);
+  FedRunResult fedavg = RunFedAvg(fd, cfg);
+  // Global self-supervision uploads predictions on top of weights.
+  EXPECT_GT(fedgl.bytes_up, fedavg.bytes_up);
+}
+
+TEST(GcflTest, RunsAndLearns) {
+  FederatedDataset fd = TinyFederation(111);
+  FedRunResult r = RunGcflPlus(fd, TinyConfig());
+  EXPECT_EQ(r.history.size(), 4u);
+  EXPECT_GT(r.final_test_acc, 0.4);
+}
+
+TEST(GcflTest, AggressiveThresholdsSplitClusters) {
+  FederatedDataset fd = TinyFederation(112);
+  GcflOptions opt;
+  opt.eps1 = 1e9f;  // Mean condition always true.
+  opt.eps2 = 0.0f;  // Max condition always true.
+  FedRunResult r = RunGcflPlus(fd, TinyConfig(), opt);
+  // Still runs to completion with per-cluster aggregation.
+  EXPECT_GT(r.final_test_acc, 0.3);
+}
+
+TEST(FedSageTest, MendAddsGeneratedNodes) {
+  Graph g = MakeSmallSbm(200, 3, 0.85, 113);
+  FedSageOptions opt;
+  opt.neighgen_epochs = 10;
+  Rng rng(1);
+  Graph mended = MendGraphWithNeighGen(g, opt, Matrix(), rng);
+  EXPECT_GE(mended.num_nodes(), g.num_nodes());
+  // Splits must not include generated nodes.
+  for (int32_t v : mended.train_nodes) EXPECT_LT(v, g.num_nodes());
+  for (int32_t v : mended.test_nodes) EXPECT_LT(v, g.num_nodes());
+  EXPECT_EQ(mended.train_nodes, g.train_nodes);
+}
+
+TEST(FedSageTest, MendPreservesOriginalFeatures) {
+  Graph g = MakeSmallSbm(150, 3, 0.85, 114);
+  FedSageOptions opt;
+  opt.neighgen_epochs = 5;
+  Rng rng(2);
+  Graph mended = MendGraphWithNeighGen(g, opt, Matrix(), rng);
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FLOAT_EQ(mended.features(v, 0), g.features(v, 0));
+  }
+}
+
+TEST(FedSageTest, TinyGraphIsNoOp) {
+  Graph g = MakeSmallSbm(120, 3, 0.8, 115);
+  // Force the too-small path by emptying edges below threshold.
+  Graph small;
+  small.adj = CsrFromUndirectedEdges(4, {{0, 1}});
+  small.features = Matrix(4, 3);
+  small.labels = {0, 1, 0, 1};
+  small.num_classes = 2;
+  FedSageOptions opt;
+  Rng rng(3);
+  Graph out = MendGraphWithNeighGen(small, opt, Matrix(), rng);
+  EXPECT_EQ(out.num_nodes(), 4);
+  (void)g;
+}
+
+TEST(FedSageTest, FullRunLearns) {
+  FederatedDataset fd = TinyFederation(116);
+  FedSageOptions opt;
+  opt.neighgen_epochs = 5;
+  FedRunResult r = RunFedSagePlus(fd, TinyConfig(), opt);
+  EXPECT_GT(r.final_test_acc, 0.4);
+  EXPECT_GT(r.bytes_up, 0);
+}
+
+TEST(FedPubTest, RunsAndLearns) {
+  FederatedDataset fd = TinyFederation(117);
+  FedPubOptions opt;
+  opt.proxy_nodes = 60;
+  FedRunResult r = RunFedPub(fd, TinyConfig(), opt);
+  EXPECT_EQ(r.history.size(), 4u);
+  EXPECT_GT(r.final_test_acc, 0.4);
+}
+
+TEST(FedPubTest, MaskedModelHasSixParams) {
+  FederatedDataset fd = TinyFederation(118);
+  FedConfig cfg = TinyConfig();
+  cfg.model = "GCN+mask";
+  FedClient client(fd.clients[0], cfg, 9);
+  EXPECT_EQ(client.Weights().size(), 6u);
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tensor/csr.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace adafgl {
+namespace {
+
+CsrMatrix SmallCsr() {
+  // [[0, 2, 0],
+  //  [1, 0, 3],
+  //  [0, 0, 4]]
+  return CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, 3.0f}, {2, 2, 4.0f}});
+}
+
+TEST(CsrTest, FromTripletsSortsAndStores) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  Matrix d = m.ToDense();
+  EXPECT_FLOAT_EQ(d(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(d(1, 2), 3.0f);
+  EXPECT_FLOAT_EQ(d(2, 2), 4.0f);
+  EXPECT_FLOAT_EQ(d(0, 0), 0.0f);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, 1.0f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.ToDense()(0, 0), 3.5f);
+}
+
+TEST(CsrTest, HasEntry) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_TRUE(m.HasEntry(0, 1));
+  EXPECT_TRUE(m.HasEntry(2, 2));
+  EXPECT_FALSE(m.HasEntry(0, 0));
+  EXPECT_FALSE(m.HasEntry(2, 0));
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  Rng rng(1);
+  CsrMatrix m = SmallCsr();
+  Matrix x = Matrix::Gaussian(3, 4, 1.0f, rng);
+  EXPECT_LT(MaxAbsDiff(m.Multiply(x), MatMul(m.ToDense(), x)), 1e-5f);
+}
+
+TEST(CsrTest, MultiplyTransposeMatchesDense) {
+  Rng rng(2);
+  CsrMatrix m = SmallCsr();
+  Matrix x = Matrix::Gaussian(3, 4, 1.0f, rng);
+  EXPECT_LT(MaxAbsDiff(m.MultiplyTranspose(x),
+                       MatMul(Transpose(m.ToDense()), x)),
+            1e-5f);
+}
+
+TEST(CsrTest, TransposedMatchesDenseTranspose) {
+  CsrMatrix m = SmallCsr();
+  EXPECT_LT(MaxAbsDiff(m.Transposed().ToDense(), Transpose(m.ToDense())),
+            1e-6f);
+}
+
+TEST(CsrTest, RowSums) {
+  CsrMatrix m = SmallCsr();
+  const std::vector<float> sums = m.RowSums();
+  EXPECT_FLOAT_EQ(sums[0], 2.0f);
+  EXPECT_FLOAT_EQ(sums[1], 4.0f);
+  EXPECT_FLOAT_EQ(sums[2], 4.0f);
+}
+
+TEST(CsrTest, WithSelfLoopsSetsUnitDiagonal) {
+  CsrMatrix m = SmallCsr().WithSelfLoops();
+  Matrix d = m.ToDense();
+  for (int32_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(d(i, i), 1.0f);
+  EXPECT_FLOAT_EQ(d(0, 1), 2.0f);  // Off-diagonal preserved.
+}
+
+TEST(CsrTest, NormalizedRandomWalkRowsSumToOne) {
+  // r = 1 gives D^0 A D^-1... rows of  D^{r-1} A D^{-r} with r=0:
+  // D^{-1} A — row-stochastic for symmetric input.
+  CsrMatrix sym = CsrFromUndirectedEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  CsrMatrix rw = sym.Normalized(0.0f);
+  Matrix d = rw.ToDense();
+  for (int32_t i = 0; i < 4; ++i) {
+    double row_sum = 0.0;
+    for (int32_t j = 0; j < 4; ++j) row_sum += d(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(CsrTest, NormalizedSymmetricIsSymmetric) {
+  CsrMatrix sym =
+      CsrFromUndirectedEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                                 {0, 2}});
+  Matrix d = sym.Normalized(0.5f).ToDense();
+  EXPECT_LT(MaxAbsDiff(d, Transpose(d)), 1e-5f);
+}
+
+TEST(CsrTest, UndirectedEdgeConstructionSymmetricBinary) {
+  CsrMatrix m =
+      CsrFromUndirectedEdges(3, {{0, 1}, {1, 0}, {1, 2}});  // Duplicate.
+  Matrix d = m.ToDense();
+  EXPECT_FLOAT_EQ(d(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(d(1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(d(2, 1), 1.0f);
+  EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(CsrTest, SelfLoopEdgesAreDropped) {
+  CsrMatrix m = CsrFromUndirectedEdges(2, {{0, 0}, {0, 1}});
+  EXPECT_FALSE(m.HasEntry(0, 0));
+  EXPECT_TRUE(m.HasEntry(0, 1));
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m(3, 3);
+  EXPECT_EQ(m.nnz(), 0);
+  Matrix x = Matrix::Constant(3, 2, 1.0f);
+  EXPECT_FLOAT_EQ(SumAll(m.Multiply(x)), 0.0f);
+}
+
+}  // namespace
+}  // namespace adafgl

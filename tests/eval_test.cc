@@ -1,0 +1,180 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/sparsity.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+// ----------------------------------------------------------------- Report
+
+TEST(ReportTest, AggregateMeanStd) {
+  const MeanStd one = Aggregate({0.5});
+  EXPECT_DOUBLE_EQ(one.mean, 0.5);
+  EXPECT_DOUBLE_EQ(one.std, 0.0);
+  const MeanStd two = Aggregate({0.4, 0.6});
+  EXPECT_DOUBLE_EQ(two.mean, 0.5);
+  EXPECT_NEAR(two.std, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(Aggregate({}).mean, 0.0);
+}
+
+TEST(ReportTest, FormatAccPct) {
+  EXPECT_EQ(FormatAccPct({0.813, 0.009}), "81.3±0.9");
+  EXPECT_EQ(FormatAccPct({1.0, 0.0}), "100.0±0.0");
+}
+
+TEST(ReportTest, EnvIntFallbacks) {
+  unsetenv("ADAFGL_TEST_ENV");
+  EXPECT_EQ(EnvInt("ADAFGL_TEST_ENV", 7), 7);
+  setenv("ADAFGL_TEST_ENV", "12", 1);
+  EXPECT_EQ(EnvInt("ADAFGL_TEST_ENV", 7), 12);
+  setenv("ADAFGL_TEST_ENV", "junk", 1);
+  EXPECT_EQ(EnvInt("ADAFGL_TEST_ENV", 7), 7);
+  setenv("ADAFGL_TEST_ENV", "-3", 1);
+  EXPECT_EQ(EnvInt("ADAFGL_TEST_ENV", 7), 7);
+  unsetenv("ADAFGL_TEST_ENV");
+}
+
+// --------------------------------------------------------------- Sparsity
+
+TEST(SparsityTest, FeatureSparsityZeroesUnlabeledOnly) {
+  Graph g = MakeSmallSbm(200, 3, 0.85, 301);
+  Rng rng(1);
+  Graph out = ApplyFeatureSparsity(g, 1.0, rng);  // All unlabeled missing.
+  std::vector<uint8_t> is_train(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t v : g.train_nodes) is_train[static_cast<size_t>(v)] = 1;
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < out.features.cols(); ++j) {
+      norm += std::abs(out.features(v, j));
+    }
+    if (is_train[static_cast<size_t>(v)]) {
+      EXPECT_GT(norm, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(norm, 0.0);
+    }
+  }
+}
+
+TEST(SparsityTest, FeatureSparsityRate) {
+  Graph g = MakeSmallSbm(400, 3, 0.85, 302);
+  Rng rng(2);
+  Graph out = ApplyFeatureSparsity(g, 0.5, rng);
+  int64_t zeroed = 0, unlabeled = 0;
+  std::vector<uint8_t> is_train(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t v : g.train_nodes) is_train[static_cast<size_t>(v)] = 1;
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    if (is_train[static_cast<size_t>(v)]) continue;
+    ++unlabeled;
+    double norm = 0.0;
+    for (int64_t j = 0; j < out.features.cols(); ++j) {
+      norm += std::abs(out.features(v, j));
+    }
+    zeroed += (norm == 0.0);
+  }
+  EXPECT_NEAR(static_cast<double>(zeroed) / unlabeled, 0.5, 0.1);
+}
+
+TEST(SparsityTest, EdgeSparsityRemovesFraction) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 303);
+  Rng rng(3);
+  Graph out = ApplyEdgeSparsity(g, 0.4, rng);
+  EXPECT_NEAR(static_cast<double>(out.num_edges()),
+              static_cast<double>(g.num_edges()) * 0.6,
+              static_cast<double>(g.num_edges()) * 0.08);
+  EXPECT_EQ(out.num_nodes(), g.num_nodes());
+}
+
+TEST(SparsityTest, EdgeSparsityExtremes) {
+  Graph g = MakeSmallSbm(150, 3, 0.85, 304);
+  Rng r1(4), r2(5);
+  EXPECT_EQ(ApplyEdgeSparsity(g, 0.0, r1).num_edges(), g.num_edges());
+  EXPECT_EQ(ApplyEdgeSparsity(g, 1.0, r2).num_edges(), 0);
+}
+
+TEST(SparsityTest, LabelSparsityKeepsFractionPerClass) {
+  Graph g = MakeSmallSbm(400, 4, 0.85, 305);
+  Rng rng(6);
+  Graph out = ApplyLabelSparsity(g, 0.5, rng);
+  EXPECT_NEAR(static_cast<double>(out.train_nodes.size()),
+              static_cast<double>(g.train_nodes.size()) * 0.5,
+              static_cast<double>(g.train_nodes.size()) * 0.15);
+  // Every class still trains.
+  std::vector<int> seen(4, 0);
+  for (int32_t v : out.train_nodes) {
+    seen[static_cast<size_t>(out.labels[static_cast<size_t>(v)])] = 1;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(SparsityTest, ApplyToFederatedDataset) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 306);
+  Rng rng(7);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 3, InjectionMode::kNone, 0.5, rng);
+  Rng rng2(8);
+  FederatedDataset sparse =
+      ApplySparsity(fd, SparsityKind::kEdge, 0.5, rng2);
+  for (size_t c = 0; c < fd.clients.size(); ++c) {
+    EXPECT_LT(sparse.clients[c].num_edges(), fd.clients[c].num_edges());
+    EXPECT_EQ(sparse.clients[c].num_nodes(), fd.clients[c].num_nodes());
+  }
+}
+
+// ----------------------------------------------------------------- Runner
+
+TEST(RunnerTest, PrepareFederatedDatasetBothSplits) {
+  ExperimentSpec spec;
+  spec.dataset = "Cora";
+  spec.num_clients = 5;
+  spec.split = "community";
+  FederatedDataset community = PrepareFederatedDataset(spec, 11);
+  EXPECT_EQ(community.num_clients(), 5);
+  spec.split = "noniid";
+  FederatedDataset noniid = PrepareFederatedDataset(spec, 11);
+  EXPECT_EQ(noniid.num_clients(), 5);
+  EXPECT_EQ(noniid.injections.size(), 5u);
+}
+
+TEST(RunnerTest, MethodListsMatchPaperTables) {
+  const auto t2 = Table2Methods();
+  EXPECT_EQ(t2.size(), 11u);
+  EXPECT_EQ(t2.back(), "AdaFGL");
+  const auto t3 = Table3Methods();
+  EXPECT_EQ(t3.size(), 7u);
+  EXPECT_EQ(t3.back(), "AdaFGL");
+}
+
+TEST(RunnerTest, RunAlgorithmDispatch) {
+  Graph g = MakeSmallSbm(200, 3, 0.85, 307);
+  Rng rng(9);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 3, InjectionMode::kNone, 0.5, rng);
+  FedConfig cfg;
+  cfg.rounds = 2;
+  cfg.local_epochs = 1;
+  cfg.post_local_epochs = 1;
+  cfg.hidden = 16;
+  for (const std::string& name :
+       {std::string("FedGCN"), std::string("FedGL"), std::string("GCFL+"),
+        std::string("FED-PUB")}) {
+    FedRunResult r = RunAlgorithm(name, fd, cfg);
+    EXPECT_GT(r.final_test_acc, 0.0) << name;
+  }
+}
+
+TEST(RunnerTest, BenchFedConfigRespectsEnv) {
+  setenv("ADAFGL_ROUNDS", "5", 1);
+  EXPECT_EQ(BenchFedConfig().rounds, 5);
+  unsetenv("ADAFGL_ROUNDS");
+  EXPECT_EQ(BenchFedConfig().rounds, 15);
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "fed/federation.h"
+#include "fed/splits.h"
+#include "tensor/matrix_ops.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+FedConfig TinyConfig() {
+  FedConfig cfg;
+  cfg.rounds = 4;
+  cfg.local_epochs = 2;
+  cfg.post_local_epochs = 2;
+  cfg.hidden = 16;
+  cfg.eval_every = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+FederatedDataset TinyFederation(int clients = 3, double homophily = 0.85) {
+  Graph g = MakeSmallSbm(240, 3, homophily, 71);
+  Rng rng(72);
+  return StructureNonIidSplit(g, clients, InjectionMode::kNone, 0.5, rng);
+}
+
+TEST(AverageWeightsTest, WeightedMean) {
+  Matrix a(1, 2, {2.0f, 4.0f});
+  Matrix b(1, 2, {4.0f, 8.0f});
+  const auto avg = AverageWeights({{a}, {b}}, {1.0, 3.0});
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_FLOAT_EQ(avg[0](0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(avg[0](0, 1), 7.0f);
+}
+
+TEST(AverageWeightsTest, SingleClientIsIdentity) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const auto avg = AverageWeights({{a}}, {5.0});
+  EXPECT_LT(MaxAbsDiff(avg[0], a), 1e-7f);
+}
+
+TEST(FedClientTest, TrainLowersLossAndTracksDelta) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedClient client(fd.clients[0], cfg, 99);
+  EXPECT_GT(client.num_train(), 0);
+  const auto before = client.Weights();
+  const double loss1 = client.TrainEpochs(3);
+  EXPECT_GT(loss1, 0.0);
+  const auto& delta = client.last_delta();
+  ASSERT_EQ(delta.size(), before.size());
+  double norm = 0.0;
+  for (const Matrix& d : delta) norm += FrobeniusNorm(d);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(FedClientTest, SetGlobalWeightsOverwrites) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedClient a(fd.clients[0], cfg, 1);
+  FedClient b(fd.clients[1], cfg, 2);
+  b.SetGlobalWeights(a.Weights());
+  const auto wa = a.Weights();
+  const auto wb = b.Weights();
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(wa[i], wb[i]), 1e-7f);
+  }
+}
+
+TEST(FedClientTest, EvalAccuracyInRange) {
+  FederatedDataset fd = TinyFederation();
+  FedClient client(fd.clients[0], TinyConfig(), 3);
+  const double acc = client.EvalTest();
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(FedClientTest, MaskFlagsKeepMasksLocal) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.model = "GCN+mask";
+  FedClient client(fd.clients[0], cfg, 4);
+  client.SetMaskFlags({false, false, true, false, false, true});
+  auto weights = client.Weights();
+  ASSERT_EQ(weights.size(), 6u);
+  // Zero out everything and broadcast: masked entries must keep their
+  // original values.
+  const Matrix original_mask = weights[2];
+  for (Matrix& w : weights) w.Zero();
+  client.SetGlobalWeights(weights);
+  EXPECT_LT(MaxAbsDiff(client.Weights()[2], original_mask), 1e-7f);
+  EXPECT_LT(FrobeniusNorm(client.Weights()[0]), 1e-7f);
+}
+
+TEST(RunFedAvgTest, ProducesHistoryAndWeights) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult r = RunFedAvg(fd, cfg);
+  EXPECT_EQ(static_cast<int>(r.history.size()), cfg.rounds);
+  EXPECT_FALSE(r.global_weights.empty());
+  EXPECT_EQ(r.client_test_acc.size(), fd.clients.size());
+  EXPECT_GT(r.final_test_acc, 0.0);
+  EXPECT_LE(r.final_test_acc, 1.0);
+}
+
+TEST(RunFedAvgTest, LearnsHomophilousTask) {
+  FederatedDataset fd = TinyFederation(3, 0.9);
+  FedConfig cfg = TinyConfig();
+  cfg.rounds = 10;
+  FedRunResult r = RunFedAvg(fd, cfg);
+  // Far above the 1/3 random baseline.
+  EXPECT_GT(r.final_test_acc, 0.55);
+}
+
+TEST(RunFedAvgTest, CommunicationAccounting) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult r = RunFedAvg(fd, cfg);
+  // rounds * clients * param_bytes in each direction.
+  FedClient probe(fd.clients[0], cfg, 5);
+  const int64_t expected = static_cast<int64_t>(cfg.rounds) *
+                           static_cast<int64_t>(fd.clients.size()) *
+                           probe.ParamBytes();
+  EXPECT_EQ(r.bytes_up, expected);
+  EXPECT_EQ(r.bytes_down, expected);
+}
+
+TEST(RunFedAvgTest, PartialParticipationReducesTraffic) {
+  FederatedDataset fd = TinyFederation(4);
+  FedConfig cfg = TinyConfig();
+  FedRunResult full = RunFedAvg(fd, cfg);
+  cfg.participation = 0.5;
+  FedRunResult half = RunFedAvg(fd, cfg);
+  EXPECT_LT(half.bytes_up, full.bytes_up);
+  EXPECT_EQ(half.bytes_up, full.bytes_up / 2);
+}
+
+TEST(RunFedAvgTest, DeterministicForFixedSeed) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult a = RunFedAvg(fd, cfg);
+  FedRunResult b = RunFedAvg(fd, cfg);
+  EXPECT_EQ(a.final_test_acc, b.final_test_acc);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].test_acc, b.history[i].test_acc);
+  }
+}
+
+TEST(RunFedAvgTest, InductiveModeRuns) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.inductive = true;
+  FedRunResult r = RunFedAvg(fd, cfg);
+  EXPECT_GT(r.final_test_acc, 0.0);
+}
+
+TEST(RunFedAvgTest, EveryZooBackboneTrains) {
+  FederatedDataset fd = TinyFederation();
+  for (const std::string& model :
+       {std::string("SGC"), std::string("GPRGNN"), std::string("GloGNN")}) {
+    FedConfig cfg = TinyConfig();
+    cfg.rounds = 2;
+    cfg.model = model;
+    FedRunResult r = RunFedAvg(fd, cfg);
+    EXPECT_GT(r.final_test_acc, 0.2) << model;
+  }
+}
+
+TEST(WeightedTestAccuracyTest, WeightsByTestSize) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  auto clients = MakeClients(fd, cfg);
+  const double acc = WeightedTestAccuracy(clients);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,187 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/metrics.h"
+#include "tensor/matrix_ops.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeTwoCliqueGraph;
+
+TEST(GraphTest, MakeGraphBasics) {
+  Graph g = MakeTwoCliqueGraph(4);
+  EXPECT_EQ(g.num_nodes(), 8);
+  // Two K4 cliques (6 edges each) + bridge.
+  EXPECT_EQ(g.num_edges(), 13);
+  EXPECT_EQ(g.num_classes, 2);
+  EXPECT_EQ(g.feature_dim(), 8);
+}
+
+TEST(GraphTest, AdjacencyIsSymmetricWithoutSelfLoops) {
+  Graph g = MakeTwoCliqueGraph(5);
+  Matrix d = g.adj.ToDense();
+  EXPECT_LT(MaxAbsDiff(d, Transpose(d)), 1e-6f);
+  for (int32_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_FLOAT_EQ(d(i, i), 0.0f);
+  }
+}
+
+TEST(GraphTest, SplitsAreDisjointAndCover) {
+  Graph g = MakeTwoCliqueGraph(10);
+  std::vector<int32_t> all;
+  all.insert(all.end(), g.train_nodes.begin(), g.train_nodes.end());
+  all.insert(all.end(), g.val_nodes.begin(), g.val_nodes.end());
+  all.insert(all.end(), g.test_nodes.begin(), g.test_nodes.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(static_cast<int32_t>(all.size()), g.num_nodes());
+}
+
+TEST(GraphTest, InducedSubgraphKeepsInternalEdges) {
+  Graph g = MakeTwoCliqueGraph(4);
+  // First clique only: all 6 internal edges, no bridge.
+  std::vector<int32_t> nodes = {0, 1, 2, 3};
+  std::vector<int32_t> ids;
+  Graph sub = InducedSubgraph(g, nodes, &ids);
+  EXPECT_EQ(sub.num_nodes(), 4);
+  EXPECT_EQ(sub.num_edges(), 6);
+  EXPECT_EQ(ids, nodes);
+  for (int32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(sub.labels[static_cast<size_t>(v)], 0);
+  }
+}
+
+TEST(GraphTest, InducedSubgraphRelabelsAndInheritsSplits) {
+  Graph g = MakeTwoCliqueGraph(4);
+  std::vector<int32_t> nodes = {4, 5, 6, 7};  // Second clique.
+  Graph sub = InducedSubgraph(g, nodes);
+  EXPECT_EQ(sub.num_nodes(), 4);
+  for (int32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(sub.labels[static_cast<size_t>(v)], 1);
+  }
+  // Split sizes must match the parent's restriction to these nodes.
+  int64_t parent_count = 0;
+  for (int32_t v : g.train_nodes) parent_count += (v >= 4);
+  EXPECT_EQ(static_cast<int64_t>(sub.train_nodes.size()), parent_count);
+  // Features must be gathered rows.
+  for (int32_t v = 0; v < 4; ++v) {
+    EXPECT_FLOAT_EQ(sub.features(v, 0), g.features(4 + v, 0));
+  }
+}
+
+TEST(GraphTest, InducedSubgraphCrossEdgeKept) {
+  Graph g = MakeTwoCliqueGraph(4);
+  // Nodes 3 and 4 are the bridge endpoints.
+  Graph sub = InducedSubgraph(g, {3, 4});
+  EXPECT_EQ(sub.num_edges(), 1);
+}
+
+TEST(GraphTest, UndirectedEdgesRoundTrip) {
+  Graph g = MakeTwoCliqueGraph(6);
+  const auto edges = UndirectedEdges(g.adj);
+  EXPECT_EQ(static_cast<int64_t>(edges.size()), g.num_edges());
+  CsrMatrix rebuilt = CsrFromUndirectedEdges(g.num_nodes(), edges);
+  EXPECT_LT(MaxAbsDiff(rebuilt.ToDense(), g.adj.ToDense()), 1e-6f);
+}
+
+TEST(GraphTest, GcnNormalizedProperties) {
+  Graph g = MakeTwoCliqueGraph(4);
+  CsrMatrix norm = GcnNormalized(g.adj);
+  Matrix d = norm.ToDense();
+  // Symmetric.
+  EXPECT_LT(MaxAbsDiff(d, Transpose(d)), 1e-5f);
+  // Self loops present.
+  for (int32_t i = 0; i < g.num_nodes(); ++i) EXPECT_GT(d(i, i), 0.0f);
+  // Spectral radius is <= 1, so row sums stay positive and bounded (they
+  // can exceed 1 pointwise when a high-degree node borders low-degree
+  // ones, but never by much on near-regular graphs).
+  for (int32_t i = 0; i < g.num_nodes(); ++i) {
+    double row = 0.0;
+    for (int32_t j = 0; j < g.num_nodes(); ++j) row += d(i, j);
+    EXPECT_GT(row, 0.0);
+    EXPECT_LE(row, 2.0);
+  }
+  // On an isolated clique (perfectly regular), rows sum to exactly 1.
+  CsrMatrix clique = GcnNormalized(
+      CsrFromUndirectedEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                 {2, 3}}));
+  Matrix cd = clique.ToDense();
+  for (int32_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int32_t j = 0; j < 4; ++j) row += cd(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, HomophilyOnPureCliques) {
+  // Without the bridge both metrics are exactly 1.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = i + 1; j < 4; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(4 + i, 4 + j);
+    }
+  }
+  std::vector<int32_t> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  CsrMatrix adj = CsrFromUndirectedEdges(8, edges);
+  EXPECT_NEAR(NodeHomophily(adj, labels), 1.0, 1e-9);
+  EXPECT_NEAR(EdgeHomophily(adj, labels), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, HomophilyOnBipartiteIsZero) {
+  // Complete bipartite between two classes: no same-label edge.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < 3; ++i) {
+    for (int32_t j = 3; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  std::vector<int32_t> labels = {0, 0, 0, 1, 1, 1};
+  CsrMatrix adj = CsrFromUndirectedEdges(6, edges);
+  EXPECT_NEAR(NodeHomophily(adj, labels), 0.0, 1e-9);
+  EXPECT_NEAR(EdgeHomophily(adj, labels), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, EdgeHomophilyCountsFractions) {
+  // Path 0-1-2 with labels 0,0,1: one homophilous of two edges.
+  CsrMatrix adj = CsrFromUndirectedEdges(3, {{0, 1}, {1, 2}});
+  EXPECT_NEAR(EdgeHomophily(adj, {0, 0, 1}), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, LabelHistogram) {
+  const auto hist = LabelHistogram({0, 1, 1, 2, 2, 2}, 4);
+  EXPECT_EQ(hist, (std::vector<int64_t>{1, 2, 3, 0}));
+}
+
+TEST(MetricsTest, ModularityTwoCliquesHigh) {
+  Graph g = MakeTwoCliqueGraph(6);
+  std::vector<int32_t> perfect(12, 0);
+  for (int32_t i = 6; i < 12; ++i) perfect[static_cast<size_t>(i)] = 1;
+  const double q_good = Modularity(g.adj, perfect);
+  std::vector<int32_t> single(12, 0);
+  const double q_single = Modularity(g.adj, single);
+  EXPECT_GT(q_good, 0.3);
+  EXPECT_NEAR(q_single, 0.0, 1e-9);
+  EXPECT_GT(q_good, q_single);
+}
+
+TEST(MetricsTest, EdgeCutCountsCrossEdges) {
+  Graph g = MakeTwoCliqueGraph(4);
+  std::vector<int32_t> part(8, 0);
+  for (int32_t i = 4; i < 8; ++i) part[static_cast<size_t>(i)] = 1;
+  EXPECT_EQ(EdgeCut(g.adj, part), 1);  // Only the bridge.
+  std::vector<int32_t> bad = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_GT(EdgeCut(g.adj, bad), 1);
+}
+
+TEST(MetricsTest, PartitionImbalance) {
+  EXPECT_NEAR(PartitionImbalance({0, 0, 1, 1}, 2), 1.0, 1e-9);
+  EXPECT_NEAR(PartitionImbalance({0, 0, 0, 1}, 2), 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace adafgl

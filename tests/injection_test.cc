@@ -1,0 +1,110 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/injection.h"
+#include "graph/metrics.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+TEST(RandomInjectionTest, AddsRequestedEdgeCount) {
+  Graph g = MakeSmallSbm(200, 3, 0.8, 51);
+  Rng rng(1);
+  Graph out = RandomInjection(g, InjectionType::kHomophilous, 0.5, rng);
+  // Close to +50% (random pair sampling can exhaust attempts on tiny
+  // graphs, but not at this size).
+  EXPECT_NEAR(static_cast<double>(out.num_edges()),
+              static_cast<double>(g.num_edges()) * 1.5,
+              static_cast<double>(g.num_edges()) * 0.02);
+}
+
+TEST(RandomInjectionTest, HomophilousRaisesHomophily) {
+  Graph g = MakeSmallSbm(200, 3, 0.6, 52);
+  const double before = EdgeHomophily(g.adj, g.labels);
+  Rng rng(2);
+  Graph out = RandomInjection(g, InjectionType::kHomophilous, 0.5, rng);
+  EXPECT_GT(EdgeHomophily(out.adj, out.labels), before + 0.05);
+}
+
+TEST(RandomInjectionTest, HeterophilousLowersHomophily) {
+  Graph g = MakeSmallSbm(200, 3, 0.8, 53);
+  const double before = EdgeHomophily(g.adj, g.labels);
+  Rng rng(3);
+  Graph out = RandomInjection(g, InjectionType::kHeterophilous, 0.5, rng);
+  EXPECT_LT(EdgeHomophily(out.adj, out.labels), before - 0.1);
+}
+
+TEST(RandomInjectionTest, PreservesNodesFeaturesLabelsSplits) {
+  Graph g = MakeSmallSbm(150, 3, 0.8, 54);
+  Rng rng(4);
+  Graph out = RandomInjection(g, InjectionType::kHeterophilous, 0.3, rng);
+  EXPECT_EQ(out.num_nodes(), g.num_nodes());
+  EXPECT_EQ(out.labels, g.labels);
+  EXPECT_EQ(out.train_nodes, g.train_nodes);
+  EXPECT_EQ(out.test_nodes, g.test_nodes);
+  EXPECT_FLOAT_EQ(out.features(0, 0), g.features(0, 0));
+}
+
+TEST(RandomInjectionTest, ZeroRatioIsIdentityTopology) {
+  Graph g = MakeSmallSbm(100, 3, 0.8, 55);
+  Rng rng(5);
+  Graph out = RandomInjection(g, InjectionType::kHomophilous, 0.0, rng);
+  EXPECT_EQ(out.num_edges(), g.num_edges());
+}
+
+TEST(RandomInjectionTest, OnlyAddsMatchingLabelPairs) {
+  Graph g = MakeSmallSbm(150, 3, 0.8, 56);
+  Rng rng(6);
+  Graph out = RandomInjection(g, InjectionType::kHomophilous, 0.4, rng);
+  // Every new edge must be same-label.
+  auto before = UndirectedEdges(g.adj);
+  std::set<std::pair<int32_t, int32_t>> old_edges(before.begin(),
+                                                  before.end());
+  for (const auto& e : UndirectedEdges(out.adj)) {
+    if (old_edges.count(e)) continue;
+    EXPECT_EQ(out.labels[static_cast<size_t>(e.first)],
+              out.labels[static_cast<size_t>(e.second)]);
+  }
+}
+
+TEST(MetaInjectionTest, RespectsBudgetAndLowersHomophily) {
+  Graph g = MakeSmallSbm(200, 3, 0.85, 57);
+  const double before = EdgeHomophily(g.adj, g.labels);
+  Rng rng(7);
+  Graph out = MetaInjection(g, 0.2, rng);
+  EXPECT_LE(out.num_edges(),
+            g.num_edges() + static_cast<int64_t>(g.num_edges() * 0.2) + 1);
+  EXPECT_GT(out.num_edges(), g.num_edges());
+  EXPECT_LT(EdgeHomophily(out.adj, out.labels), before);
+}
+
+TEST(MetaInjectionTest, AddedEdgesAreCrossLabel) {
+  Graph g = MakeSmallSbm(150, 3, 0.85, 58);
+  Rng rng(8);
+  Graph out = MetaInjection(g, 0.2, rng);
+  auto before = UndirectedEdges(g.adj);
+  std::set<std::pair<int32_t, int32_t>> old_edges(before.begin(),
+                                                  before.end());
+  int64_t added = 0;
+  for (const auto& e : UndirectedEdges(out.adj)) {
+    if (old_edges.count(e)) continue;
+    ++added;
+    EXPECT_NE(out.labels[static_cast<size_t>(e.first)],
+              out.labels[static_cast<size_t>(e.second)]);
+  }
+  EXPECT_GT(added, 0);
+}
+
+TEST(MetaInjectionTest, ZeroBudgetIsNoOp) {
+  Graph g = MakeSmallSbm(100, 3, 0.85, 59);
+  Rng rng(9);
+  Graph out = MetaInjection(g, 0.0, rng);
+  EXPECT_EQ(out.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,159 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "nn/serialize.h"
+#include "tensor/matrix_ops.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+using ::adafgl::testing::MakeTwoCliqueGraph;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ----------------------------------------------------------- Graph text IO
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  Graph g = MakeTwoCliqueGraph(6);
+  Result<Graph> parsed = ParseGraph(SerializeGraph(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Graph& r = parsed.value();
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(r.num_classes, g.num_classes);
+  EXPECT_EQ(r.labels, g.labels);
+  EXPECT_EQ(r.train_nodes, g.train_nodes);
+  EXPECT_EQ(r.val_nodes, g.val_nodes);
+  EXPECT_EQ(r.test_nodes, g.test_nodes);
+  EXPECT_LT(MaxAbsDiff(r.features, g.features), 1e-4f);
+  EXPECT_LT(MaxAbsDiff(r.adj.ToDense(), g.adj.ToDense()), 1e-6f);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = MakeSmallSbm(60, 3, 0.8, 401);
+  const std::string path = TempPath("graph_io_test.txt");
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  Result<Graph> loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+  EXPECT_NEAR(EdgeHomophily(loaded.value().adj, loaded.value().labels),
+              EdgeHomophily(g.adj, g.labels), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "header 2 1 2\n"
+      "\n"
+      "node 0 0 1.5  # trailing comment\n"
+      "node 1 1 -2.0\n"
+      "edge 0 1\n"
+      "split train 0\n";
+  Result<Graph> g = ParseGraph(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_nodes(), 2);
+  EXPECT_FLOAT_EQ(g.value().features(0, 0), 1.5f);
+  EXPECT_EQ(g.value().train_nodes, std::vector<int32_t>{0});
+}
+
+struct BadInputCase {
+  const char* name;
+  const char* text;
+};
+
+class GraphIoErrorTest : public ::testing::TestWithParam<BadInputCase> {};
+
+TEST_P(GraphIoErrorTest, RejectsMalformedInput) {
+  Result<Graph> g = ParseGraph(GetParam().text);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GraphIoErrorTest,
+    ::testing::Values(
+        BadInputCase{"Empty", ""},
+        BadInputCase{"NoHeader", "node 0 0 1.0\n"},
+        BadInputCase{"DuplicateHeader",
+                     "header 1 1 2\nnode 0 0 1\nheader 1 1 2\n"},
+        BadInputCase{"NodeOutOfRange", "header 1 1 2\nnode 5 0 1.0\n"},
+        BadInputCase{"LabelOutOfRange", "header 1 1 2\nnode 0 7 1.0\n"},
+        BadInputCase{"DuplicateNode",
+                     "header 1 1 2\nnode 0 0 1.0\nnode 0 0 1.0\n"},
+        BadInputCase{"MissingFeature", "header 1 2 2\nnode 0 0 1.0\n"},
+        BadInputCase{"MissingNode", "header 2 1 2\nnode 0 0 1.0\n"},
+        BadInputCase{"BadEdge",
+                     "header 2 1 2\nnode 0 0 1\nnode 1 0 1\nedge 0 9\n"},
+        BadInputCase{"BadSplitKind",
+                     "header 1 1 2\nnode 0 0 1\nsplit weird 0\n"},
+        BadInputCase{"UnknownTag", "header 1 1 2\nnode 0 0 1\nblah\n"}),
+    [](const ::testing::TestParamInfo<BadInputCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  Result<Graph> g = LoadGraphFromFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kNotFound);
+}
+
+// ------------------------------------------------------ Weight checkpoints
+
+TEST(SerializeWeightsTest, RoundTrip) {
+  Rng rng(1);
+  std::vector<Matrix> weights = {Matrix::Gaussian(3, 4, 1.0f, rng),
+                                 Matrix::Gaussian(1, 1, 1.0f, rng),
+                                 Matrix(2, 0)};
+  Result<std::vector<Matrix>> back =
+      DeserializeWeights(SerializeWeights(weights));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(back.value()[i].rows(), weights[i].rows());
+    EXPECT_EQ(back.value()[i].cols(), weights[i].cols());
+    if (weights[i].size() > 0) {
+      EXPECT_LT(MaxAbsDiff(back.value()[i], weights[i]), 0.0f + 1e-9f);
+    }
+  }
+}
+
+TEST(SerializeWeightsTest, EmptyListRoundTrips) {
+  Result<std::vector<Matrix>> back = DeserializeWeights(SerializeWeights({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(SerializeWeightsTest, RejectsCorruptedInput) {
+  Rng rng(2);
+  std::string bytes = SerializeWeights({Matrix::Gaussian(2, 2, 1.0f, rng)});
+  EXPECT_FALSE(DeserializeWeights("JUNK").ok());
+  EXPECT_FALSE(DeserializeWeights(bytes.substr(0, 10)).ok());
+  EXPECT_FALSE(DeserializeWeights(bytes + "x").ok());
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeWeights(bad_magic).ok());
+}
+
+TEST(SerializeWeightsTest, FileRoundTrip) {
+  Rng rng(3);
+  std::vector<Matrix> weights = {Matrix::Gaussian(4, 5, 1.0f, rng)};
+  const std::string path = TempPath("weights_test.bin");
+  ASSERT_TRUE(SaveWeightsToFile(weights, path).ok());
+  Result<std::vector<Matrix>> back = LoadWeightsFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(MaxAbsDiff(back.value()[0], weights[0]), 1e-9f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/label_propagation.h"
+#include "core/propagation_matrix.h"
+#include "tensor/matrix_ops.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+using ::adafgl::testing::MakeTwoCliqueGraph;
+
+TEST(LabelPropagationTest, NoSeedsGivesNoClassPreference) {
+  Graph g = MakeTwoCliqueGraph(5);
+  Matrix y = LabelPropagation(g, /*labeled=*/{});
+  for (int64_t i = 0; i < y.rows(); ++i) {
+    // Both class scores stay equal (the operator cannot create class
+    // preference from a uniform start) and near the 0.5 prior (the
+    // sym-normalised operator bleeds a little mass at irregular nodes).
+    EXPECT_NEAR(y(i, 0), y(i, 1), 1e-5);
+    EXPECT_NEAR(y(i, 0), 0.5f, 0.05);
+  }
+}
+
+TEST(LabelPropagationTest, ClassifiesTwoCliques) {
+  Graph g = MakeTwoCliqueGraph(8);
+  // Seed one node per clique.
+  Matrix y = LabelPropagation(g, {0, 8});
+  std::vector<int32_t> all_nodes;
+  for (int32_t v = 0; v < g.num_nodes(); ++v) all_nodes.push_back(v);
+  EXPECT_NEAR(Accuracy(y, g.labels, all_nodes), 1.0, 1e-9);
+}
+
+TEST(LabelPropagationTest, KappaOneFreezesSeeds) {
+  Graph g = MakeTwoCliqueGraph(4);
+  LabelPropOptions opt;
+  opt.kappa = 1.0f;
+  Matrix y = LabelPropagation(g, {0}, opt);
+  EXPECT_NEAR(y(0, 0), 1.0f, 1e-5);
+  // Unlabeled nodes stay uniform.
+  EXPECT_NEAR(y(5, 0), 0.5f, 1e-5);
+}
+
+TEST(LabelPropagationTest, MoreStepsReachFurther) {
+  // Path graph: influence decays with distance; more steps raise the far
+  // node's seed-class mass.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < 9; ++i) edges.emplace_back(i, i + 1);
+  std::vector<int32_t> labels(10, 0);
+  labels[9] = 1;
+  Rng rng(1);
+  Matrix features = GenerateClassFeatures(labels, 2, 4, 1.0, 0.1, rng);
+  Graph g = MakeGraph(10, edges, std::move(features), std::move(labels), 2);
+  LabelPropOptions short_lp;
+  short_lp.steps = 1;
+  LabelPropOptions long_lp;
+  long_lp.steps = 8;
+  const Matrix y_short = LabelPropagation(g, {0}, short_lp);
+  const Matrix y_long = LabelPropagation(g, {0}, long_lp);
+  EXPECT_GT(y_long(5, 0), y_short(5, 0));
+}
+
+TEST(HcsTest, HighOnHomophilousGraph) {
+  Graph g = MakeSmallSbm(300, 3, 0.95, 91);
+  Rng rng(2);
+  const double hcs = HomophilyConfidenceScore(g, 0.5, rng);
+  EXPECT_GT(hcs, 0.6);
+}
+
+TEST(HcsTest, LowerOnHeterophilousGraph) {
+  Graph homo = MakeSmallSbm(300, 3, 0.95, 92);
+  Graph hete = MakeSmallSbm(300, 3, 0.1, 92);
+  Rng r1(3), r2(3);
+  double h_homo = 0.0, h_hete = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    h_homo += HomophilyConfidenceScore(homo, 0.5, r1);
+    h_hete += HomophilyConfidenceScore(hete, 0.5, r2);
+  }
+  EXPECT_GT(h_homo, h_hete + 0.2);
+}
+
+TEST(HcsTest, InUnitInterval) {
+  Graph g = MakeSmallSbm(200, 3, 0.5, 93);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const double hcs = HomophilyConfidenceScore(g, 0.5, rng);
+    EXPECT_GE(hcs, 0.0);
+    EXPECT_LE(hcs, 1.0);
+  }
+}
+
+TEST(HcsTest, TinyTrainSetFallsBack) {
+  Graph g = MakeTwoCliqueGraph(4);
+  g.train_nodes = {0};
+  Rng rng(5);
+  EXPECT_NEAR(HomophilyConfidenceScore(g, 0.5, rng), 0.5, 1e-9);
+}
+
+// --------------------------------------------------- Propagation matrix
+
+TEST(PropagationMatrixTest, ScaleRemovesDiagonalAndNormalises) {
+  Matrix p(3, 3, {5.0f, 1.0f, 1.0f,
+                  1.0f, 5.0f, 2.0f,
+                  1.0f, 2.0f, 5.0f});
+  Matrix scaled = ScalePropagationMatrix(p);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(scaled(i, i), 0.0f);
+  // Symmetric input stays symmetric.
+  EXPECT_LT(MaxAbsDiff(scaled, Transpose(scaled)), 1e-5f);
+  // All entries non-negative and bounded.
+  for (int64_t i = 0; i < scaled.size(); ++i) {
+    EXPECT_GE(scaled.data()[i], 0.0f);
+    EXPECT_LE(scaled.data()[i], 1.0f);
+  }
+}
+
+TEST(PropagationMatrixTest, ZeroRowsStayZero) {
+  Matrix p(2, 2);
+  p(0, 0) = 3.0f;  // Only diagonal mass in row 0.
+  Matrix scaled = ScalePropagationMatrix(p);
+  EXPECT_FLOAT_EQ(SumAll(scaled), 0.0f);
+}
+
+TEST(PropagationMatrixTest, AlphaOneUsesTopologyOnly) {
+  Graph g = MakeTwoCliqueGraph(4);
+  Matrix uniform = Matrix::Constant(g.num_nodes(), 2, 0.5f);
+  Matrix p = BuildPropagationMatrix(g, uniform, 1.0f);
+  // With alpha = 1, non-adjacent off-diagonal pairs get zero weight.
+  EXPECT_FLOAT_EQ(p(0, 5), 0.0f);  // Cross-clique non-bridge pair.
+  EXPECT_GT(p(0, 1), 0.0f);        // Intra-clique edge.
+}
+
+TEST(PropagationMatrixTest, AffinityConnectsConfidentSameClassPairs) {
+  Graph g = MakeTwoCliqueGraph(4);
+  // Confident one-hot predictions by clique.
+  Matrix probs(g.num_nodes(), 2);
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    probs(v, g.labels[static_cast<size_t>(v)]) = 1.0f;
+  }
+  Matrix p = BuildPropagationMatrix(g, probs, 0.0f);
+  // Same-class non-adjacent pairs are connected, cross-class are not.
+  EXPECT_GT(p(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(p(0, 5), 0.0f);
+}
+
+TEST(PropagationMatrixTest, SmoothingDenoisesFeatures) {
+  // Smoothing class-pure affinity over noisy features pulls nodes toward
+  // their class mean: same-class row distance shrinks.
+  Graph g = MakeTwoCliqueGraph(10);
+  Matrix probs(g.num_nodes(), 2);
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    probs(v, g.labels[static_cast<size_t>(v)]) = 1.0f;
+  }
+  Matrix p = BuildPropagationMatrix(g, probs, 0.5f);
+  Matrix smoothed = MatMul(p, g.features);
+  auto row_dist = [](const Matrix& m, int64_t a, int64_t b) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      acc += (m(a, j) - m(b, j)) * (m(a, j) - m(b, j));
+    }
+    return acc;
+  };
+  EXPECT_LT(row_dist(smoothed, 0, 1), row_dist(g.features, 0, 1) + 1e-9);
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,144 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/optim.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeTwoCliqueGraph;
+
+ModelConfig SmallConfig(const Graph& g) {
+  ModelConfig mc;
+  mc.in_dim = g.feature_dim();
+  mc.num_classes = g.num_classes;
+  mc.hidden = 16;
+  mc.dropout = 0.2f;
+  mc.num_hops = 2;
+  mc.low_rank = 4;
+  return mc;
+}
+
+class ZooModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModelTest, ForwardShapeAndFiniteness) {
+  Graph g = MakeTwoCliqueGraph(6);
+  GraphContext ctx = GraphContext::Create(g);
+  Rng rng(1);
+  auto model = CreateModel(GetParam(), SmallConfig(g), rng);
+  Rng fwd(2);
+  Tensor out = model->Forward(ctx, /*training=*/false, fwd);
+  EXPECT_EQ(out->rows(), g.num_nodes());
+  EXPECT_EQ(out->cols(), g.num_classes);
+  for (int64_t i = 0; i < out->value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out->value().data()[i]));
+  }
+}
+
+TEST_P(ZooModelTest, HasTrainableParams) {
+  Graph g = MakeTwoCliqueGraph(6);
+  Rng rng(3);
+  auto model = CreateModel(GetParam(), SmallConfig(g), rng);
+  EXPECT_FALSE(model->Params().empty());
+  EXPECT_GT(ParameterCount(*model), 0);
+  for (const Tensor& p : model->Params()) {
+    EXPECT_TRUE(p->requires_grad());
+  }
+}
+
+TEST_P(ZooModelTest, WeightsRoundTrip) {
+  Graph g = MakeTwoCliqueGraph(6);
+  Rng rng1(4), rng2(5);
+  auto a = CreateModel(GetParam(), SmallConfig(g), rng1);
+  auto b = CreateModel(GetParam(), SmallConfig(g), rng2);
+  SetWeights(*b, GetWeights(*a));
+  const auto wa = GetWeights(*a);
+  const auto wb = GetWeights(*b);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(wa[i], wb[i]), 1e-7f) << "param " << i;
+  }
+  // With identical weights, eval-mode forward must coincide.
+  GraphContext ctx = GraphContext::Create(g);
+  Rng f1(6), f2(6);
+  Tensor oa = a->Forward(ctx, false, f1);
+  Tensor ob = b->Forward(ctx, false, f2);
+  EXPECT_LT(MaxAbsDiff(oa->value(), ob->value()), 1e-5f);
+}
+
+TEST_P(ZooModelTest, TrainingReducesLoss) {
+  Graph g = MakeTwoCliqueGraph(8);
+  GraphContext ctx = GraphContext::Create(g);
+  Rng rng(7);
+  auto model = CreateModel(GetParam(), SmallConfig(g), rng);
+  Adam opt(model->Params(), 0.02f);
+  Rng train_rng(8);
+  double first = 0.0, last = 0.0;
+  for (int e = 0; e < 40; ++e) {
+    opt.ZeroGrad();
+    Tensor logits = model->Forward(ctx, /*training=*/true, train_rng);
+    Tensor loss =
+        ops::CrossEntropyWithLogits(logits, g.labels, g.train_nodes);
+    if (e == 0) first = loss->value()(0, 0);
+    last = loss->value()(0, 0);
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST_P(ZooModelTest, LearnsSeparableCliques) {
+  Graph g = MakeTwoCliqueGraph(10);
+  GraphContext ctx = GraphContext::Create(g);
+  Rng rng(9);
+  auto model = CreateModel(GetParam(), SmallConfig(g), rng);
+  Adam opt(model->Params(), 0.02f);
+  Rng train_rng(10);
+  for (int e = 0; e < 80; ++e) {
+    opt.ZeroGrad();
+    Tensor logits = model->Forward(ctx, true, train_rng);
+    Backward(ops::CrossEntropyWithLogits(logits, g.labels, g.train_nodes));
+    opt.Step();
+  }
+  Rng eval_rng(11);
+  Tensor logits = model->Forward(ctx, false, eval_rng);
+  EXPECT_GT(Accuracy(logits->value(), g.labels, g.test_nodes), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::ValuesIn(ModelZooNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(ModelZooTest, NamesAreStable) {
+  const auto names = ModelZooNames();
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[1], "GCN");
+}
+
+TEST(ModelZooTest, MaskedGcnHasMaskParams) {
+  Graph g = MakeTwoCliqueGraph(6);
+  Rng rng(12);
+  GcnModel plain(SmallConfig(g), rng);
+  Rng rng2(12);
+  GcnModel masked(SmallConfig(g), rng2, /*with_mask=*/true);
+  EXPECT_EQ(plain.Params().size(), 4u);   // w1 b1 w2 b2.
+  EXPECT_EQ(masked.Params().size(), 6u);  // + m1 m2.
+}
+
+TEST(ModelZooTest, GetSetWeightsShapeMismatchIsFatal) {
+  Graph g = MakeTwoCliqueGraph(6);
+  Rng rng(13);
+  auto model = CreateModel("GCN", SmallConfig(g), rng);
+  auto weights = GetWeights(*model);
+  weights[0] = Matrix(1, 1);
+  EXPECT_DEATH(SetWeights(*model, weights), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,134 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+#include "partition/louvain.h"
+#include "partition/metis_like.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+using ::adafgl::testing::MakeTwoCliqueGraph;
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  Graph g = MakeTwoCliqueGraph(8);
+  Rng rng(1);
+  const std::vector<int32_t> comm = Louvain(g.adj, rng);
+  // Every node in clique 0 shares a community; ditto clique 1; distinct.
+  for (int32_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(comm[static_cast<size_t>(i)], comm[0]);
+    EXPECT_EQ(comm[static_cast<size_t>(8 + i)], comm[8]);
+  }
+  EXPECT_NE(comm[0], comm[8]);
+}
+
+TEST(LouvainTest, ModularityBeatsSinglePartition) {
+  Graph g = MakeSmallSbm(150, 3, 0.9, 11);
+  Rng rng(2);
+  const std::vector<int32_t> comm = Louvain(g.adj, rng);
+  EXPECT_GT(Modularity(g.adj, comm), 0.2);
+}
+
+TEST(LouvainTest, DeterministicForFixedSeed) {
+  Graph g = MakeSmallSbm(100, 3, 0.85, 12);
+  Rng a(3), b(3);
+  EXPECT_EQ(Louvain(g.adj, a), Louvain(g.adj, b));
+}
+
+TEST(LouvainTest, CompactCommunityIds) {
+  Graph g = MakeSmallSbm(100, 3, 0.85, 13);
+  Rng rng(4);
+  const std::vector<int32_t> comm = Louvain(g.adj, rng);
+  std::set<int32_t> ids(comm.begin(), comm.end());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int32_t>(ids.size()) - 1);
+}
+
+TEST(LouvainTest, HandlesEdgelessGraph) {
+  CsrMatrix empty(5, 5);
+  Rng rng(5);
+  const std::vector<int32_t> comm = Louvain(empty, rng);
+  EXPECT_EQ(comm.size(), 5u);  // Each node its own community.
+}
+
+// --------------------------------------------------------------- MetisLike
+
+struct MetisCase {
+  int32_t n;
+  int32_t k;
+  double homophily;
+};
+
+class MetisLikeTest : public ::testing::TestWithParam<MetisCase> {};
+
+TEST_P(MetisLikeTest, BalancedNonEmptyValidParts) {
+  const MetisCase& c = GetParam();
+  Graph g = MakeSmallSbm(c.n, 3, c.homophily, 21);
+  Rng rng(6);
+  const std::vector<int32_t> part = MetisLikePartition(g.adj, c.k, rng);
+  ASSERT_EQ(static_cast<int32_t>(part.size()), c.n);
+  std::vector<int64_t> sizes(static_cast<size_t>(c.k), 0);
+  for (int32_t p : part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, c.k);
+    ++sizes[static_cast<size_t>(p)];
+  }
+  for (int64_t s : sizes) EXPECT_GT(s, 0);
+  // Balance: max part within (1 + eps) of average, plus slack for the
+  // feasibility fixups on small graphs.
+  EXPECT_LE(PartitionImbalance(part, c.k), 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MetisLikeTest,
+    ::testing::Values(MetisCase{60, 2, 0.9}, MetisCase{120, 4, 0.85},
+                      MetisCase{240, 8, 0.8}, MetisCase{240, 3, 0.3},
+                      MetisCase{400, 10, 0.7}),
+    [](const ::testing::TestParamInfo<MetisCase>& info) {
+      return "n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(MetisLikePartitionTest, CutsFewerEdgesThanRandom) {
+  Graph g = MakeSmallSbm(300, 3, 0.9, 22);
+  Rng rng(7);
+  const std::vector<int32_t> metis = MetisLikePartition(g.adj, 4, rng);
+  Rng rng2(8);
+  const std::vector<int32_t> random = RandomPartition(300, 4, rng2);
+  EXPECT_LT(EdgeCut(g.adj, metis), EdgeCut(g.adj, random));
+}
+
+TEST(MetisLikePartitionTest, SinglePartIsTrivial) {
+  Graph g = MakeSmallSbm(50, 3, 0.9, 23);
+  Rng rng(9);
+  const std::vector<int32_t> part = MetisLikePartition(g.adj, 1, rng);
+  for (int32_t p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(MetisLikePartitionTest, DeterministicForFixedSeed) {
+  Graph g = MakeSmallSbm(150, 3, 0.8, 24);
+  Rng a(10), b(10);
+  EXPECT_EQ(MetisLikePartition(g.adj, 5, a), MetisLikePartition(g.adj, 5, b));
+}
+
+TEST(MetisLikePartitionTest, TwoCliquesSplitAtBridge) {
+  Graph g = MakeTwoCliqueGraph(10);
+  Rng rng(11);
+  const std::vector<int32_t> part = MetisLikePartition(g.adj, 2, rng);
+  EXPECT_EQ(EdgeCut(g.adj, part), 1);
+}
+
+TEST(RandomPartitionTest, ExactBalance) {
+  Rng rng(12);
+  const std::vector<int32_t> part = RandomPartition(100, 4, rng);
+  std::vector<int64_t> sizes(4, 0);
+  for (int32_t p : part) ++sizes[static_cast<size_t>(p)];
+  for (int64_t s : sizes) EXPECT_EQ(s, 25);
+}
+
+}  // namespace
+}  // namespace adafgl

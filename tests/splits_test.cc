@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fed/splits.h"
+#include "graph/metrics.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+void CheckCoverage(const Graph& g, const FederatedDataset& fd) {
+  std::set<int32_t> seen;
+  int64_t total = 0;
+  for (size_t c = 0; c < fd.clients.size(); ++c) {
+    EXPECT_EQ(static_cast<int32_t>(fd.global_ids[c].size()),
+              fd.clients[c].num_nodes());
+    for (int32_t gid : fd.global_ids[c]) {
+      EXPECT_TRUE(seen.insert(gid).second) << "node assigned twice";
+      EXPECT_GE(gid, 0);
+      EXPECT_LT(gid, g.num_nodes());
+    }
+    total += fd.clients[c].num_nodes();
+  }
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(CommunitySplitTest, PartitionsAllNodesDisjointly) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 81);
+  Rng rng(1);
+  FederatedDataset fd = CommunitySplit(g, 5, rng);
+  EXPECT_EQ(fd.num_clients(), 5);
+  CheckCoverage(g, fd);
+  EXPECT_TRUE(fd.injections.empty());
+}
+
+TEST(CommunitySplitTest, ClientsNonEmptyAndRoughlyBalanced) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 82);
+  Rng rng(2);
+  FederatedDataset fd = CommunitySplit(g, 4, rng);
+  for (const Graph& c : fd.clients) {
+    EXPECT_GT(c.num_nodes(), 0);
+  }
+}
+
+TEST(CommunitySplitTest, LabelsAndFeaturesPreserved) {
+  Graph g = MakeSmallSbm(200, 3, 0.85, 83);
+  Rng rng(3);
+  FederatedDataset fd = CommunitySplit(g, 3, rng);
+  for (size_t c = 0; c < fd.clients.size(); ++c) {
+    for (int32_t v = 0; v < fd.clients[c].num_nodes(); ++v) {
+      const int32_t gid = fd.global_ids[c][static_cast<size_t>(v)];
+      EXPECT_EQ(fd.clients[c].labels[static_cast<size_t>(v)],
+                g.labels[static_cast<size_t>(gid)]);
+      EXPECT_FLOAT_EQ(fd.clients[c].features(v, 0), g.features(gid, 0));
+    }
+  }
+}
+
+TEST(CommunitySplitTest, HomophilyPreservedOnHomophilousGraph) {
+  Graph g = MakeSmallSbm(300, 3, 0.9, 84);
+  Rng rng(4);
+  FederatedDataset fd = CommunitySplit(g, 3, rng);
+  for (const Graph& c : fd.clients) {
+    if (c.num_edges() < 20) continue;
+    EXPECT_GT(EdgeHomophily(c.adj, c.labels), 0.7);
+  }
+}
+
+TEST(StructureNonIidSplitTest, NoInjectionKeepsTopologyRegime) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 85);
+  Rng rng(5);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 4, InjectionMode::kNone, 0.5, rng);
+  CheckCoverage(g, fd);
+  EXPECT_TRUE(fd.injections.empty());
+}
+
+TEST(StructureNonIidSplitTest, RandomInjectionCreatesTopologyVariance) {
+  Graph g = MakeSmallSbm(400, 3, 0.85, 86);
+  Rng rng(6);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 6, InjectionMode::kRandom, 0.5, rng);
+  ASSERT_EQ(fd.injections.size(), 6u);
+  double min_h = 1.0, max_h = 0.0;
+  for (size_t c = 0; c < fd.clients.size(); ++c) {
+    const double h = EdgeHomophily(fd.clients[c].adj, fd.clients[c].labels);
+    min_h = std::min(min_h, h);
+    max_h = std::max(max_h, h);
+    if (fd.injections[c] == InjectionType::kHeterophilous) {
+      EXPECT_LT(h, 0.8);
+    }
+  }
+  // Binary selection must generate spread across clients (Fig. 2b).
+  EXPECT_GT(max_h - min_h, 0.1);
+}
+
+TEST(StructureNonIidSplitTest, MetaInjectionRuns) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 87);
+  Rng rng(7);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 3, InjectionMode::kMeta, 0.5, rng);
+  CheckCoverage(g, fd);
+  ASSERT_EQ(fd.injections.size(), 3u);
+}
+
+TEST(StructureNonIidSplitTest, TotalTrainNodesMatchesGlobal) {
+  Graph g = MakeSmallSbm(300, 3, 0.85, 88);
+  Rng rng(8);
+  FederatedDataset fd =
+      StructureNonIidSplit(g, 4, InjectionMode::kNone, 0.5, rng);
+  EXPECT_EQ(fd.TotalTrainNodes(),
+            static_cast<int64_t>(g.train_nodes.size()));
+}
+
+TEST(StructureNonIidSplitTest, DeterministicForFixedSeed) {
+  Graph g = MakeSmallSbm(250, 3, 0.85, 89);
+  Rng a(9), b(9);
+  FederatedDataset f1 =
+      StructureNonIidSplit(g, 4, InjectionMode::kRandom, 0.5, a);
+  FederatedDataset f2 =
+      StructureNonIidSplit(g, 4, InjectionMode::kRandom, 0.5, b);
+  ASSERT_EQ(f1.clients.size(), f2.clients.size());
+  for (size_t c = 0; c < f1.clients.size(); ++c) {
+    EXPECT_EQ(f1.clients[c].num_edges(), f2.clients[c].num_edges());
+    EXPECT_EQ(f1.global_ids[c], f2.global_ids[c]);
+  }
+}
+
+TEST(StructureNonIidSplitTest, ClientCountScales) {
+  Graph g = MakeSmallSbm(400, 3, 0.85, 90);
+  for (int32_t k : {2, 5, 10}) {
+    Rng rng(static_cast<uint64_t>(k));
+    FederatedDataset fd =
+        StructureNonIidSplit(g, k, InjectionMode::kNone, 0.5, rng);
+    EXPECT_EQ(fd.num_clients(), k);
+    CheckCoverage(g, fd);
+  }
+}
+
+}  // namespace
+}  // namespace adafgl

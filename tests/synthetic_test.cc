@@ -1,0 +1,213 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/injection.h"
+#include "data/registry.h"
+#include "data/synthetic.h"
+#include "graph/metrics.h"
+
+namespace adafgl {
+namespace {
+
+SbmParams BaseParams(double homophily) {
+  SbmParams p;
+  p.num_nodes = 400;
+  p.num_classes = 4;
+  p.num_edges = 1600;
+  p.edge_homophily = homophily;
+  p.feature_dim = 16;
+  p.feature_signal = 0.5;
+  p.train_frac = 0.2;
+  p.val_frac = 0.4;
+  return p;
+}
+
+class SbmHomophilyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SbmHomophilyTest, MatchesTargetEdgeHomophily) {
+  const double target = GetParam();
+  SbmParams p = BaseParams(target);
+  Rng rng(31);
+  Graph g = GenerateSbmGraph(p, rng);
+  EXPECT_NEAR(EdgeHomophily(g.adj, g.labels), target, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SbmHomophilyTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(SbmTest, NodeAndEdgeCounts) {
+  SbmParams p = BaseParams(0.8);
+  Rng rng(32);
+  Graph g = GenerateSbmGraph(p, rng);
+  EXPECT_EQ(g.num_nodes(), 400);
+  // Duplicate rejection can fall slightly short of the target edge count.
+  EXPECT_GT(g.num_edges(), 1500);
+  EXPECT_LE(g.num_edges(), 1600);
+  EXPECT_EQ(g.feature_dim(), 16);
+}
+
+TEST(SbmTest, AllClassesPresent) {
+  SbmParams p = BaseParams(0.8);
+  Rng rng(33);
+  Graph g = GenerateSbmGraph(p, rng);
+  const auto hist = LabelHistogram(g.labels, 4);
+  for (int64_t c : hist) EXPECT_GE(c, 2);
+}
+
+TEST(SbmTest, ClassSkewOrdersClassSizes) {
+  SbmParams p = BaseParams(0.8);
+  p.class_skew = 0.8;
+  Rng rng(34);
+  Graph g = GenerateSbmGraph(p, rng);
+  const auto hist = LabelHistogram(g.labels, 4);
+  EXPECT_GT(hist[0], hist[3]);
+}
+
+TEST(SbmTest, DegreesAreHeavyTailed) {
+  SbmParams p = BaseParams(0.8);
+  p.num_nodes = 1000;
+  p.num_edges = 4000;
+  Rng rng(35);
+  Graph g = GenerateSbmGraph(p, rng);
+  const std::vector<float> deg = g.adj.RowSums();
+  float mx = 0.0f;
+  double mean = 0.0;
+  for (float d : deg) {
+    mx = std::max(mx, d);
+    mean += d;
+  }
+  mean /= static_cast<double>(deg.size());
+  EXPECT_GT(mx, 4.0 * mean);  // A hub exists.
+}
+
+TEST(SbmTest, DeterministicForFixedSeed) {
+  SbmParams p = BaseParams(0.7);
+  Rng a(36), b(36);
+  Graph g1 = GenerateSbmGraph(p, a);
+  Graph g2 = GenerateSbmGraph(p, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.labels, g2.labels);
+  EXPECT_EQ(g1.train_nodes, g2.train_nodes);
+}
+
+TEST(SplitTest, StratifiedFractions) {
+  SbmParams p = BaseParams(0.8);
+  Rng rng(37);
+  Graph g = GenerateSbmGraph(p, rng);
+  const auto n = static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(g.train_nodes.size() / n, 0.2, 0.03);
+  EXPECT_NEAR(g.val_nodes.size() / n, 0.4, 0.03);
+  EXPECT_NEAR(g.test_nodes.size() / n, 0.4, 0.03);
+}
+
+TEST(SplitTest, EveryClassHasTrainNodes) {
+  SbmParams p = BaseParams(0.8);
+  Rng rng(38);
+  Graph g = GenerateSbmGraph(p, rng);
+  std::vector<int> seen(4, 0);
+  for (int32_t v : g.train_nodes) {
+    seen[static_cast<size_t>(g.labels[static_cast<size_t>(v)])] = 1;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(FeatureTest, ClassMeansSeparateWithSignal) {
+  std::vector<int32_t> labels(200, 0);
+  for (size_t i = 100; i < 200; ++i) labels[i] = 1;
+  Rng rng(39);
+  Matrix x = GenerateClassFeatures(labels, 2, 32, /*signal=*/2.0,
+                                   /*noise=*/0.1, rng);
+  // Mean distance between class centroids should be large vs noise.
+  Matrix mean0(1, 32), mean1(1, 32);
+  for (int64_t i = 0; i < 100; ++i) {
+    for (int64_t j = 0; j < 32; ++j) {
+      mean0(0, j) += x(i, j) / 100.0f;
+      mean1(0, j) += x(100 + i, j) / 100.0f;
+    }
+  }
+  double dist = 0.0;
+  for (int64_t j = 0; j < 32; ++j) {
+    dist += (mean0(0, j) - mean1(0, j)) * (mean0(0, j) - mean1(0, j));
+  }
+  EXPECT_GT(std::sqrt(dist), 5.0);
+}
+
+TEST(FeatureTest, SharedStylePoolCarriesNoLabelSignal) {
+  // With zero class signal and large style spread, per-class feature means
+  // must coincide (style offsets are label-independent).
+  std::vector<int32_t> labels(2000, 0);
+  for (size_t i = 1000; i < 2000; ++i) labels[i] = 1;
+  Rng rng(40);
+  Matrix x = GenerateClassFeatures(labels, 2, 8, /*signal=*/0.0,
+                                   /*noise=*/0.1, rng,
+                                   /*subclusters=*/4,
+                                   /*subcluster_spread=*/2.0);
+  for (int64_t j = 0; j < 8; ++j) {
+    double m0 = 0.0, m1 = 0.0;
+    for (int64_t i = 0; i < 1000; ++i) {
+      m0 += x(i, j);
+      m1 += x(1000 + i, j);
+    }
+    EXPECT_NEAR(m0 / 1000.0, m1 / 1000.0, 0.4);
+  }
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, HasAllTwelveDatasets) {
+  EXPECT_EQ(DatasetRegistry().size(), 12u);
+}
+
+TEST(RegistryTest, FindDatasetSucceedsAndFails) {
+  EXPECT_TRUE(FindDataset("Cora").ok());
+  EXPECT_TRUE(FindDataset("arxiv-year").ok());
+  const auto missing = FindDataset("NotADataset");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RegistryTest, InductiveFlagsMatchTableOne) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    const bool expected = spec.name == "Reddit" || spec.name == "Flickr";
+    EXPECT_EQ(spec.inductive, expected) << spec.name;
+  }
+}
+
+TEST(RegistryTest, HomophilyClassification) {
+  EXPECT_TRUE(FindDataset("Cora").value().IsHomophilous());
+  EXPECT_TRUE(FindDataset("Physics").value().IsHomophilous());
+  EXPECT_FALSE(FindDataset("Squirrel").value().IsHomophilous());
+  EXPECT_FALSE(FindDataset("Actor").value().IsHomophilous());
+  EXPECT_FALSE(FindDataset("Penn94").value().IsHomophilous());
+}
+
+class RegistryGenerationTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryGenerationTest, GeneratesInTargetRegime) {
+  const DatasetSpec spec = FindDataset(GetParam()).value();
+  Rng rng(41);
+  Graph g = GenerateDataset(spec, rng);
+  EXPECT_EQ(g.num_nodes(), spec.gen.num_nodes);
+  EXPECT_EQ(g.num_classes, spec.num_classes);
+  EXPECT_EQ(g.feature_dim(), spec.gen.feature_dim);
+  EXPECT_NEAR(EdgeHomophily(g.adj, g.labels), spec.paper_edge_homophily,
+              0.08);
+  EXPECT_FALSE(g.train_nodes.empty());
+  EXPECT_FALSE(g.test_nodes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, RegistryGenerationTest,
+    ::testing::Values("Cora", "CiteSeer", "Chameleon", "Actor", "Penn94"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace adafgl

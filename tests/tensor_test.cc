@@ -1,0 +1,260 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace adafgl {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(m(i, j), 0.0f);
+  }
+  m.At(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+}
+
+TEST(MatrixTest, FromData) {
+  Matrix m(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(eye(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, FillAndZero) {
+  Matrix m(2, 2);
+  m.Fill(7.0f);
+  EXPECT_FLOAT_EQ(SumAll(m), 28.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(SumAll(m), 0.0f);
+}
+
+TEST(MatrixTest, GlorotBounds) {
+  Rng rng(1);
+  Matrix w = Matrix::Glorot(30, 40, rng);
+  const float bound = std::sqrt(6.0f / 70.0f);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.data()[i], -bound);
+    EXPECT_LE(w.data()[i], bound);
+  }
+}
+
+TEST(MatrixOpsTest, MatMulAgainstManual) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(MatrixOpsTest, MatMulTransVariantsAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(4, 5, 1.0f, rng);
+  Matrix b = Matrix::Gaussian(4, 3, 1.0f, rng);
+  // a^T b via MatMulTransA == Transpose(a) * b.
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(Transpose(a), b)), 1e-5f);
+  Matrix c = Matrix::Gaussian(6, 5, 1.0f, rng);
+  // a c^T via MatMulTransB == a * Transpose(c).
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, c), MatMul(a, Transpose(c))), 1e-5f);
+}
+
+TEST(MatrixOpsTest, ElementwiseOps) {
+  Matrix a(1, 3, {1, -2, 3});
+  Matrix b(1, 3, {4, 5, -6});
+  EXPECT_LT(MaxAbsDiff(Add(a, b), Matrix(1, 3, {5, 3, -3})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Sub(a, b), Matrix(1, 3, {-3, -7, 9})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Mul(a, b), Matrix(1, 3, {4, -10, -18})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Scale(a, 2.0f), Matrix(1, 3, {2, -4, 6})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Relu(a), Matrix(1, 3, {1, 0, 3})), 1e-6f);
+}
+
+TEST(MatrixOpsTest, AxpyAccumulates) {
+  Matrix a(1, 2, {1, 1});
+  Matrix b(1, 2, {2, 4});
+  Axpy(0.5f, b, &a);
+  EXPECT_FLOAT_EQ(a(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 3.0f);
+}
+
+TEST(MatrixOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Matrix a = Matrix::Gaussian(5, 7, 3.0f, rng);
+  Matrix p = Softmax(a);
+  for (int64_t i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GT(p(i, j), 0.0f);
+      sum += p(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(MatrixOpsTest, SoftmaxIsShiftInvariantAndStable) {
+  Matrix a(1, 3, {1000.0f, 1001.0f, 1002.0f});
+  Matrix p = Softmax(a);
+  Matrix b(1, 3, {0.0f, 1.0f, 2.0f});
+  EXPECT_LT(MaxAbsDiff(p, Softmax(b)), 1e-5f);
+}
+
+TEST(MatrixOpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(4);
+  Matrix a = Matrix::Gaussian(4, 5, 2.0f, rng);
+  Matrix ls = LogSoftmax(a);
+  Matrix p = Softmax(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(p.data()[i]), 1e-4);
+  }
+}
+
+TEST(MatrixOpsTest, TransposeRoundTrip) {
+  Rng rng(5);
+  Matrix a = Matrix::Gaussian(3, 6, 1.0f, rng);
+  EXPECT_LT(MaxAbsDiff(Transpose(Transpose(a)), a), 1e-6f);
+}
+
+TEST(MatrixOpsTest, ConcatColsLayout) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 1, {9, 8});
+  Matrix c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(c(1, 2), 8.0f);
+  Matrix d = ConcatColsAll({a, b, a});
+  EXPECT_EQ(d.cols(), 5);
+  EXPECT_FLOAT_EQ(d(1, 4), 4.0f);
+}
+
+TEST(MatrixOpsTest, GatherRowsSelects) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix g = GatherRows(a, {2, 0});
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_FLOAT_EQ(g(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g(1, 1), 2.0f);
+}
+
+TEST(MatrixOpsTest, RowL2NormalizeMakesUnitRows) {
+  Matrix a(2, 2, {3, 4, 0, 0});
+  RowL2NormalizeInPlace(&a);
+  EXPECT_NEAR(a(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(a(0, 1), 0.8f, 1e-5);
+  EXPECT_FLOAT_EQ(a(1, 0), 0.0f);  // Zero row untouched.
+}
+
+TEST(MatrixOpsTest, ArgmaxAndAccuracy) {
+  Matrix logits(3, 2, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  std::vector<int32_t> labels = {0, 1, 1};
+  EXPECT_EQ(ArgmaxRows(logits), (std::vector<int32_t>{0, 1, 0}));
+  EXPECT_NEAR(Accuracy(logits, labels, {0, 1, 2}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, labels, {0, 1}), 1.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, labels, {}), 0.0, 1e-9);
+}
+
+TEST(MatrixOpsTest, FrobeniusNormAndDistance) {
+  Matrix a(1, 2, {3, 4});
+  EXPECT_NEAR(FrobeniusNorm(a), 5.0f, 1e-5);
+  Matrix b(1, 2, {0, 0});
+  EXPECT_NEAR(FrobeniusDistanceSquared(a, b), 25.0f, 1e-4);
+}
+
+TEST(MatrixOpsTest, ColMeanAveragesColumns) {
+  Matrix a(2, 2, {1, 10, 3, 30});
+  Matrix m = ColMean(a);
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 20.0f);
+}
+
+TEST(MatrixOpsTest, DotMatchesManual) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  EXPECT_NEAR(Dot(a, b), 32.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // Roughly uniform.
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(8);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(11);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace adafgl

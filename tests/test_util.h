@@ -1,0 +1,89 @@
+#ifndef ADAFGL_TESTS_TEST_UTIL_H_
+#define ADAFGL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace adafgl {
+namespace testing {
+
+/// Two k-cliques joined by a single bridge edge; nodes [0,k) labeled 0,
+/// nodes [k,2k) labeled 1. The canonical homophilous fixture.
+inline Graph MakeTwoCliqueGraph(int32_t k, int64_t feature_dim = 8,
+                                uint64_t seed = 1) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < k; ++i) {
+    for (int32_t j = i + 1; j < k; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(k + i, k + j);
+    }
+  }
+  edges.emplace_back(k - 1, k);  // Bridge.
+  std::vector<int32_t> labels(static_cast<size_t>(2 * k), 0);
+  for (int32_t i = k; i < 2 * k; ++i) labels[static_cast<size_t>(i)] = 1;
+  Rng rng(seed);
+  Matrix features = GenerateClassFeatures(labels, 2, feature_dim,
+                                          /*signal=*/1.0, /*noise=*/0.3,
+                                          rng);
+  Graph g = MakeGraph(2 * k, edges, std::move(features), std::move(labels),
+                      2);
+  StratifiedSplit(&g, 0.4, 0.3, rng);
+  return g;
+}
+
+/// A small SBM graph for integration tests (homophilous by default).
+inline Graph MakeSmallSbm(int32_t n = 120, int32_t classes = 3,
+                          double homophily = 0.85, uint64_t seed = 3,
+                          int32_t feature_dim = 12) {
+  SbmParams p;
+  p.num_nodes = n;
+  p.num_classes = classes;
+  p.num_edges = n * 3;
+  p.edge_homophily = homophily;
+  p.feature_dim = feature_dim;
+  p.feature_signal = 0.8;
+  p.train_frac = 0.3;
+  p.val_frac = 0.2;
+  Rng rng(seed);
+  return GenerateSbmGraph(p, rng);
+}
+
+/// Central-difference gradient check: perturbs every entry of `param` and
+/// compares d(loss)/d(entry) against the autograd gradient stored on
+/// `param` (caller must have run Backward already for the analytic side,
+/// or pass `loss_fn` and let the helper do both).
+///
+/// `loss_fn` must rebuild the full forward graph from current parameter
+/// values and return the scalar loss value.
+inline void CheckGradient(const Tensor& param,
+                          const std::function<double()>& loss_fn,
+                          double tolerance = 2e-2, double eps = 1e-3) {
+  // Analytic gradient must already be accumulated on `param`.
+  ASSERT_FALSE(param->grad().empty()) << "no gradient accumulated";
+  Matrix analytic = param->grad();
+  Matrix& value = param->mutable_value();
+  for (int64_t i = 0; i < value.size(); ++i) {
+    const float original = value.data()[i];
+    value.data()[i] = original + static_cast<float>(eps);
+    const double up = loss_fn();
+    value.data()[i] = original - static_cast<float>(eps);
+    const double down = loss_fn();
+    value.data()[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tolerance * std::max(1.0, std::abs(numeric)))
+        << "entry " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace adafgl
+
+#endif  // ADAFGL_TESTS_TEST_UTIL_H_
