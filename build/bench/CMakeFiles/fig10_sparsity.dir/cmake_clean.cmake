@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sparsity.dir/fig10_sparsity.cc.o"
+  "CMakeFiles/fig10_sparsity.dir/fig10_sparsity.cc.o.d"
+  "fig10_sparsity"
+  "fig10_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

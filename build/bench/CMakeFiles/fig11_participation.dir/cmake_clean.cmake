@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_participation.dir/fig11_participation.cc.o"
+  "CMakeFiles/fig11_participation.dir/fig11_participation.cc.o.d"
+  "fig11_participation"
+  "fig11_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_proposition1.dir/fig3_proposition1.cc.o"
+  "CMakeFiles/fig3_proposition1.dir/fig3_proposition1.cc.o.d"
+  "fig3_proposition1"
+  "fig3_proposition1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_proposition1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_topology_heterogeneity.dir/fig5_topology_heterogeneity.cc.o"
+  "CMakeFiles/fig5_topology_heterogeneity.dir/fig5_topology_heterogeneity.cc.o.d"
+  "fig5_topology_heterogeneity"
+  "fig5_topology_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_topology_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

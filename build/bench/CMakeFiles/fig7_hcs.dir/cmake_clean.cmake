@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hcs.dir/fig7_hcs.cc.o"
+  "CMakeFiles/fig7_hcs.dir/fig7_hcs.cc.o.d"
+  "fig7_hcs"
+  "fig7_hcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_convergence_rounds.dir/fig8_convergence_rounds.cc.o"
+  "CMakeFiles/fig8_convergence_rounds.dir/fig8_convergence_rounds.cc.o.d"
+  "fig8_convergence_rounds"
+  "fig8_convergence_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_convergence_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

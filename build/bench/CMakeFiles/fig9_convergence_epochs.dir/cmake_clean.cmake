@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_convergence_epochs.dir/fig9_convergence_epochs.cc.o"
+  "CMakeFiles/fig9_convergence_epochs.dir/fig9_convergence_epochs.cc.o.d"
+  "fig9_convergence_epochs"
+  "fig9_convergence_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_convergence_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

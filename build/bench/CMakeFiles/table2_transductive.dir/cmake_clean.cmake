@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_transductive.dir/table2_transductive.cc.o"
+  "CMakeFiles/table2_transductive.dir/table2_transductive.cc.o.d"
+  "table2_transductive"
+  "table2_transductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_inductive.dir/table3_inductive.cc.o"
+  "CMakeFiles/table3_inductive.dir/table3_inductive.cc.o.d"
+  "table3_inductive"
+  "table3_inductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_injection_transductive.dir/table4_injection_transductive.cc.o"
+  "CMakeFiles/table4_injection_transductive.dir/table4_injection_transductive.cc.o.d"
+  "table4_injection_transductive"
+  "table4_injection_transductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_injection_transductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_injection_inductive.dir/table5_injection_inductive.cc.o"
+  "CMakeFiles/table5_injection_inductive.dir/table5_injection_inductive.cc.o.d"
+  "table5_injection_inductive"
+  "table5_injection_inductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_injection_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

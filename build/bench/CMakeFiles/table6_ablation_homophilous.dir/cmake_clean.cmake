@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ablation_homophilous.dir/table6_ablation_homophilous.cc.o"
+  "CMakeFiles/table6_ablation_homophilous.dir/table6_ablation_homophilous.cc.o.d"
+  "table6_ablation_homophilous"
+  "table6_ablation_homophilous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ablation_homophilous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

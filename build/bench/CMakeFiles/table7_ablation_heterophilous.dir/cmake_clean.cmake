@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ablation_heterophilous.dir/table7_ablation_heterophilous.cc.o"
+  "CMakeFiles/table7_ablation_heterophilous.dir/table7_ablation_heterophilous.cc.o.d"
+  "table7_ablation_heterophilous"
+  "table7_ablation_heterophilous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ablation_heterophilous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table8_paradigm_summary.cc" "bench/CMakeFiles/table8_paradigm_summary.dir/table8_paradigm_summary.cc.o" "gcc" "bench/CMakeFiles/table8_paradigm_summary.dir/table8_paradigm_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/adafgl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adafgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/adafgl_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adafgl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adafgl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/adafgl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adafgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adafgl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_paradigm_summary.dir/table8_paradigm_summary.cc.o"
+  "CMakeFiles/table8_paradigm_summary.dir/table8_paradigm_summary.cc.o.d"
+  "table8_paradigm_summary"
+  "table8_paradigm_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_paradigm_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

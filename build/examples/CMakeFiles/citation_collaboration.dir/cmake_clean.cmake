@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_collaboration.dir/citation_collaboration.cpp.o"
+  "CMakeFiles/citation_collaboration.dir/citation_collaboration.cpp.o.d"
+  "citation_collaboration"
+  "citation_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

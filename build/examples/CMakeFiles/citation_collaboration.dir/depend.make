@@ -1,0 +1,2 @@
+# Empty dependencies file for citation_collaboration.
+# This may be replaced when dependencies are built.

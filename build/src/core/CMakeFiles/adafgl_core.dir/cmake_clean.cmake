@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_core.dir/adafgl.cc.o"
+  "CMakeFiles/adafgl_core.dir/adafgl.cc.o.d"
+  "CMakeFiles/adafgl_core.dir/label_propagation.cc.o"
+  "CMakeFiles/adafgl_core.dir/label_propagation.cc.o.d"
+  "CMakeFiles/adafgl_core.dir/propagation_matrix.cc.o"
+  "CMakeFiles/adafgl_core.dir/propagation_matrix.cc.o.d"
+  "libadafgl_core.a"
+  "libadafgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadafgl_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_data.dir/injection.cc.o"
+  "CMakeFiles/adafgl_data.dir/injection.cc.o.d"
+  "CMakeFiles/adafgl_data.dir/registry.cc.o"
+  "CMakeFiles/adafgl_data.dir/registry.cc.o.d"
+  "CMakeFiles/adafgl_data.dir/synthetic.cc.o"
+  "CMakeFiles/adafgl_data.dir/synthetic.cc.o.d"
+  "libadafgl_data.a"
+  "libadafgl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

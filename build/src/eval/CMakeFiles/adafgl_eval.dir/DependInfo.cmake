@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/adafgl_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/adafgl_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/eval/CMakeFiles/adafgl_eval.dir/runner.cc.o" "gcc" "src/eval/CMakeFiles/adafgl_eval.dir/runner.cc.o.d"
+  "/root/repo/src/eval/sparsity.cc" "src/eval/CMakeFiles/adafgl_eval.dir/sparsity.cc.o" "gcc" "src/eval/CMakeFiles/adafgl_eval.dir/sparsity.cc.o.d"
+  "/root/repo/src/eval/tuner.cc" "src/eval/CMakeFiles/adafgl_eval.dir/tuner.cc.o" "gcc" "src/eval/CMakeFiles/adafgl_eval.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adafgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/adafgl_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adafgl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/adafgl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adafgl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adafgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adafgl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

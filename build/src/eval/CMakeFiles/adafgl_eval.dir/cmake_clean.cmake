@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_eval.dir/report.cc.o"
+  "CMakeFiles/adafgl_eval.dir/report.cc.o.d"
+  "CMakeFiles/adafgl_eval.dir/runner.cc.o"
+  "CMakeFiles/adafgl_eval.dir/runner.cc.o.d"
+  "CMakeFiles/adafgl_eval.dir/sparsity.cc.o"
+  "CMakeFiles/adafgl_eval.dir/sparsity.cc.o.d"
+  "CMakeFiles/adafgl_eval.dir/tuner.cc.o"
+  "CMakeFiles/adafgl_eval.dir/tuner.cc.o.d"
+  "libadafgl_eval.a"
+  "libadafgl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

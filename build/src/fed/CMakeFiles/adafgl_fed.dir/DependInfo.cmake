@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/federation.cc" "src/fed/CMakeFiles/adafgl_fed.dir/federation.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/federation.cc.o.d"
+  "/root/repo/src/fed/fedgl.cc" "src/fed/CMakeFiles/adafgl_fed.dir/fedgl.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/fedgl.cc.o.d"
+  "/root/repo/src/fed/fedpub.cc" "src/fed/CMakeFiles/adafgl_fed.dir/fedpub.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/fedpub.cc.o.d"
+  "/root/repo/src/fed/fedsage.cc" "src/fed/CMakeFiles/adafgl_fed.dir/fedsage.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/fedsage.cc.o.d"
+  "/root/repo/src/fed/gcfl.cc" "src/fed/CMakeFiles/adafgl_fed.dir/gcfl.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/gcfl.cc.o.d"
+  "/root/repo/src/fed/splits.cc" "src/fed/CMakeFiles/adafgl_fed.dir/splits.cc.o" "gcc" "src/fed/CMakeFiles/adafgl_fed.dir/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adafgl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adafgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/adafgl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adafgl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adafgl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_fed.dir/federation.cc.o"
+  "CMakeFiles/adafgl_fed.dir/federation.cc.o.d"
+  "CMakeFiles/adafgl_fed.dir/fedgl.cc.o"
+  "CMakeFiles/adafgl_fed.dir/fedgl.cc.o.d"
+  "CMakeFiles/adafgl_fed.dir/fedpub.cc.o"
+  "CMakeFiles/adafgl_fed.dir/fedpub.cc.o.d"
+  "CMakeFiles/adafgl_fed.dir/fedsage.cc.o"
+  "CMakeFiles/adafgl_fed.dir/fedsage.cc.o.d"
+  "CMakeFiles/adafgl_fed.dir/gcfl.cc.o"
+  "CMakeFiles/adafgl_fed.dir/gcfl.cc.o.d"
+  "CMakeFiles/adafgl_fed.dir/splits.cc.o"
+  "CMakeFiles/adafgl_fed.dir/splits.cc.o.d"
+  "libadafgl_fed.a"
+  "libadafgl_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_graph.dir/graph.cc.o"
+  "CMakeFiles/adafgl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/adafgl_graph.dir/io.cc.o"
+  "CMakeFiles/adafgl_graph.dir/io.cc.o.d"
+  "CMakeFiles/adafgl_graph.dir/metrics.cc.o"
+  "CMakeFiles/adafgl_graph.dir/metrics.cc.o.d"
+  "libadafgl_graph.a"
+  "libadafgl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/adafgl_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/adafgl_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/adafgl_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/adafgl_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/adafgl_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/adafgl_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adafgl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adafgl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_nn.dir/layers.cc.o"
+  "CMakeFiles/adafgl_nn.dir/layers.cc.o.d"
+  "CMakeFiles/adafgl_nn.dir/models.cc.o"
+  "CMakeFiles/adafgl_nn.dir/models.cc.o.d"
+  "CMakeFiles/adafgl_nn.dir/serialize.cc.o"
+  "CMakeFiles/adafgl_nn.dir/serialize.cc.o.d"
+  "libadafgl_nn.a"
+  "libadafgl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

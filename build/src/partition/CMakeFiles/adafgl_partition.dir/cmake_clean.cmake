@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_partition.dir/louvain.cc.o"
+  "CMakeFiles/adafgl_partition.dir/louvain.cc.o.d"
+  "CMakeFiles/adafgl_partition.dir/metis_like.cc.o"
+  "CMakeFiles/adafgl_partition.dir/metis_like.cc.o.d"
+  "libadafgl_partition.a"
+  "libadafgl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adafgl_tensor.dir/csr.cc.o"
+  "CMakeFiles/adafgl_tensor.dir/csr.cc.o.d"
+  "CMakeFiles/adafgl_tensor.dir/matrix_ops.cc.o"
+  "CMakeFiles/adafgl_tensor.dir/matrix_ops.cc.o.d"
+  "CMakeFiles/adafgl_tensor.dir/ops.cc.o"
+  "CMakeFiles/adafgl_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/adafgl_tensor.dir/optim.cc.o"
+  "CMakeFiles/adafgl_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/adafgl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/adafgl_tensor.dir/tensor.cc.o.d"
+  "libadafgl_tensor.a"
+  "libadafgl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adafgl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adafgl_test.cc" "tests/CMakeFiles/adafgl_tests.dir/adafgl_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/adafgl_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/adafgl_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/adafgl_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/csr_test.cc" "tests/CMakeFiles/adafgl_tests.dir/csr_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/csr_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/adafgl_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/federation_test.cc" "tests/CMakeFiles/adafgl_tests.dir/federation_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/federation_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/adafgl_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/injection_test.cc" "tests/CMakeFiles/adafgl_tests.dir/injection_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/injection_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/adafgl_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/label_prop_test.cc" "tests/CMakeFiles/adafgl_tests.dir/label_prop_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/label_prop_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/adafgl_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/adafgl_tests.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/optim_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/adafgl_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/splits_test.cc" "tests/CMakeFiles/adafgl_tests.dir/splits_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/splits_test.cc.o.d"
+  "/root/repo/tests/synthetic_test.cc" "tests/CMakeFiles/adafgl_tests.dir/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/synthetic_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/adafgl_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/tuner_test.cc" "tests/CMakeFiles/adafgl_tests.dir/tuner_test.cc.o" "gcc" "tests/CMakeFiles/adafgl_tests.dir/tuner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/adafgl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adafgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/adafgl_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adafgl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adafgl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/adafgl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adafgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adafgl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
