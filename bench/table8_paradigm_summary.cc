@@ -30,12 +30,19 @@ int main() {
 
   std::printf("\nMeasured communication on Cora, structure Non-iid split "
               "(10 clients):\n");
-  TablePrinter comm({"Method", "up MiB", "down MiB", "final acc"}, 12);
-  comm.PrintHeader();
   ExperimentSpec spec;
   spec.dataset = "Cora";
   spec.split = "noniid";
   spec.fed = BenchFedConfig();
+  // Give the simulated clock something to measure (a 100 Mbit/s federation
+  // with 20 ms links); codec/threads come from ADAFGL_CODEC/ADAFGL_THREADS.
+  spec.fed.comm.link.latency_s = 0.02;
+  spec.fed.comm.link.bandwidth_bps = 100e6 / 8.0;
+  std::printf("codec=%s threads=%d link=100Mbit/s+20ms\n\n",
+              spec.fed.comm.codec.c_str(), spec.fed.comm.num_threads);
+  TablePrinter comm(
+      {"Method", "up", "down", "sim time", "msgs", "final acc"}, 12);
+  comm.PrintHeader();
   FederatedDataset data = PrepareFederatedDataset(spec, 1000);
   for (const std::string& method :
        {std::string("FedGL"), std::string("GCFL+"), std::string("FedSage+"),
@@ -43,13 +50,14 @@ int main() {
     FedConfig cfg = spec.fed;
     cfg.seed = 555;
     FedRunResult r = RunAlgorithm(method, data, cfg);
-    char up[32], down[32], acc[32];
-    std::snprintf(up, sizeof(up), "%.2f",
-                  static_cast<double>(r.bytes_up) / (1024.0 * 1024.0));
-    std::snprintf(down, sizeof(down), "%.2f",
-                  static_cast<double>(r.bytes_down) / (1024.0 * 1024.0));
+    char msgs[32], acc[32];
+    std::snprintf(msgs, sizeof(msgs), "%lld",
+                  static_cast<long long>(r.comm.stats.messages_up +
+                                         r.comm.stats.messages_down));
     std::snprintf(acc, sizeof(acc), "%.1f", 100.0 * r.final_test_acc);
-    comm.PrintRow({method, up, down, acc});
+    comm.PrintRow({method, FormatBytes(r.bytes_up),
+                   FormatBytes(r.bytes_down),
+                   FormatSimSeconds(r.comm.stats.sim_seconds), msgs, acc});
   }
   return 0;
 }

@@ -1,0 +1,144 @@
+#include "comm/channel.h"
+
+#include <algorithm>
+
+#include "tensor/status.h"
+
+namespace adafgl::comm {
+
+ParameterServer::ParameterServer(const Options& options, int32_t num_clients,
+                                 uint64_t seed)
+    : options_(options),
+      codec_config_{options.topk_ratio},
+      codec_(MakeCodec(options.codec, codec_config_)),
+      control_codec_(MakeCodec("lossless")),
+      link_(options.link, num_clients, seed),
+      endpoints_(static_cast<size_t>(num_clients)) {
+  ADAFGL_CHECK(num_clients > 0);
+}
+
+void ParameterServer::BeginRound(int round,
+                                 const std::vector<int32_t>& participants) {
+  round_ = round;
+  for (Endpoint& e : endpoints_) {
+    e.active = false;
+    e.round_seconds = 0.0;
+    e.message_index = 0;
+  }
+  int64_t dropped = 0;
+  for (int32_t c : participants) {
+    ADAFGL_CHECK(c >= 0 && c < num_clients());
+    Endpoint& e = endpoints_[static_cast<size_t>(c)];
+    e.active = !link_.ClientDropsOut(c, round);
+    if (!e.active) ++dropped;
+  }
+  if (dropped > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.dropouts += dropped;
+  }
+}
+
+bool ParameterServer::ClientActive(int32_t client) const {
+  ADAFGL_CHECK(client >= 0 && client < num_clients());
+  return endpoints_[static_cast<size_t>(client)].active;
+}
+
+void ParameterServer::EndRound() {
+  double slowest = 0.0;
+  for (const Endpoint& e : endpoints_) {
+    slowest = std::max(slowest, e.round_seconds);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.sim_seconds += slowest;
+}
+
+std::optional<std::vector<Matrix>> ParameterServer::Downlink(
+    int32_t client, MessageType type, const std::vector<Matrix>& tensors) {
+  return Transfer(client, type, tensors, /*uplink=*/false);
+}
+
+std::optional<std::vector<Matrix>> ParameterServer::Uplink(
+    int32_t client, MessageType type, const std::vector<Matrix>& tensors) {
+  return Transfer(client, type, tensors, /*uplink=*/true);
+}
+
+std::optional<std::vector<Matrix>> ParameterServer::Transfer(
+    int32_t client, MessageType type, const std::vector<Matrix>& tensors,
+    bool uplink) {
+  ADAFGL_CHECK(client >= 0 && client < num_clients());
+  Endpoint& endpoint = endpoints_[static_cast<size_t>(client)];
+  if (!endpoint.active) return std::nullopt;
+
+  // Control messages must survive compression bit-exactly.
+  const Codec& codec =
+      type == MessageType::kPseudoLabels ? *control_codec_ : *codec_;
+  const std::string wire =
+      EncodeFrame(type, codec.id(), codec.Encode(tensors));
+  const auto wire_bytes = static_cast<int64_t>(wire.size());
+  const int64_t message_index = endpoint.message_index++;
+
+  const int attempts_allowed =
+      link_.options().policy == FaultPolicy::kRetry
+          ? 1 + std::max(0, link_.options().max_retries)
+          : 1;
+  bool delivered = false;
+  int64_t attempts_used = 0, lost = 0;
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    ++attempts_used;
+    endpoint.round_seconds += link_.TransferSeconds(client, wire_bytes);
+    if (!link_.MessageLost(client, round_, message_index, attempt)) {
+      delivered = true;
+      break;
+    }
+    ++lost;
+  }
+  if (!delivered) endpoint.active = false;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    // Every attempt occupies the wire, delivered or not.
+    if (uplink) {
+      stats_.bytes_up += wire_bytes * attempts_used;
+    } else {
+      stats_.bytes_down += wire_bytes * attempts_used;
+    }
+    stats_.drops += lost;
+    if (delivered) {
+      if (uplink) {
+        ++stats_.messages_up;
+        stats_.payload_float_bytes_up += PayloadFloatBytes(tensors);
+      } else {
+        ++stats_.messages_down;
+        stats_.payload_float_bytes_down += PayloadFloatBytes(tensors);
+      }
+    } else {
+      ++stats_.dropouts;
+    }
+  }
+  if (!delivered) return std::nullopt;
+
+  // Receiver side: parse the frame (checksum validation) and decode with
+  // the codec named in the header, not the local configuration.
+  Result<Frame> frame = DecodeFrame(wire);
+  ADAFGL_CHECK(frame.ok());
+  Result<std::vector<Matrix>> decoded =
+      MakeCodec(frame.value().codec, codec_config_)
+          ->Decode(frame.value().payload);
+  ADAFGL_CHECK(decoded.ok());
+  return std::move(decoded).value();
+}
+
+CommStats ParameterServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+CommReport ParameterServer::Report() const {
+  CommReport report;
+  report.stats = stats();
+  report.codec = codec_->name();
+  report.num_threads = std::max(1, options_.num_threads);
+  return report;
+}
+
+}  // namespace adafgl::comm

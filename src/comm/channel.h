@@ -1,0 +1,96 @@
+#ifndef ADAFGL_COMM_CHANNEL_H_
+#define ADAFGL_COMM_CHANNEL_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "comm/link.h"
+#include "comm/options.h"
+#include "comm/stats.h"
+#include "comm/wire.h"
+
+namespace adafgl::comm {
+
+/// \brief In-process parameter-server transport.
+///
+/// The server and its clients exchange *only serialized bytes*: every
+/// transfer encodes the tensors with the configured codec, wraps them in a
+/// checksummed frame (wire.h), "sends" them through the simulated link
+/// (latency/bandwidth/loss), then decodes on the receiving side. What the
+/// caller gets back is the receiver's view — bit-identical under the
+/// lossless codec, degraded under fp16/topk — and all accounting
+/// (CommStats) is measured from the actual wire bytes.
+///
+/// Concurrency contract: `BeginRound`/`EndRound` are single-threaded round
+/// brackets; `Downlink`/`Uplink` may run concurrently from worker threads
+/// as long as no two threads drive the *same* client. Fault and timing
+/// decisions are pure functions of (seed, round, client, message index), so
+/// simulations replay identically under any thread schedule.
+class ParameterServer {
+ public:
+  ParameterServer(const Options& options, int32_t num_clients, uint64_t seed);
+
+  const Options& options() const { return options_; }
+  int32_t num_clients() const {
+    return static_cast<int32_t>(endpoints_.size());
+  }
+
+  /// Opens a round: resets per-client link clocks and message counters and
+  /// rolls client dropouts for `participants`. Calling it again with the
+  /// same `round` re-derives identical dropout decisions.
+  void BeginRound(int round, const std::vector<int32_t>& participants);
+
+  /// Whether `client` is still reachable this round (not dropped out, no
+  /// exhausted retries yet).
+  bool ClientActive(int32_t client) const;
+
+  /// Closes the round: folds the slowest participating client's serial
+  /// transfer time into `stats().sim_seconds`.
+  void EndRound();
+
+  /// Server -> client transfer. Returns the client-side decoded tensors,
+  /// or nullopt if the client is unreachable (dropped out, or the message
+  /// was lost beyond the retry budget — which also deactivates the client
+  /// for the rest of the round).
+  std::optional<std::vector<Matrix>> Downlink(
+      int32_t client, MessageType type, const std::vector<Matrix>& tensors);
+
+  /// Client -> server transfer; same semantics as Downlink.
+  std::optional<std::vector<Matrix>> Uplink(
+      int32_t client, MessageType type, const std::vector<Matrix>& tensors);
+
+  /// Accounting over the whole lifetime of the server.
+  CommStats stats() const;
+
+  /// stats() plus the codec/threading configuration, for run results.
+  CommReport Report() const;
+
+ private:
+  /// Per-client endpoint state (the "CommClient" side of the channel).
+  struct Endpoint {
+    bool active = false;
+    double round_seconds = 0.0;  // Serial link time this round.
+    int64_t message_index = 0;   // Per-round message counter.
+  };
+
+  std::optional<std::vector<Matrix>> Transfer(
+      int32_t client, MessageType type, const std::vector<Matrix>& tensors,
+      bool uplink);
+
+  Options options_;
+  CodecConfig codec_config_;
+  std::unique_ptr<Codec> codec_;          // Weight-bearing messages.
+  std::unique_ptr<Codec> control_codec_;  // Always lossless.
+  LinkModel link_;
+  int round_ = 0;
+  std::vector<Endpoint> endpoints_;
+
+  mutable std::mutex stats_mu_;
+  CommStats stats_;
+};
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_CHANNEL_H_

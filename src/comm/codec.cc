@@ -1,0 +1,298 @@
+#include "comm/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace adafgl::comm {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Byte-buffer helpers shared by every codec body.
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(const std::string& in, size_t* offset, T* value) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// IEEE 754 binary16 conversion (round-to-nearest-even), no hardware
+// intrinsics so the wire format is identical on every build.
+
+uint16_t FloatToHalf(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exponent =
+      static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mantissa = bits & 0x007fffffu;
+
+  if (exponent >= 0x1f) {
+    // Overflow -> inf; NaN keeps a payload bit.
+    const uint32_t nan_bit = (((bits >> 23) & 0xffu) == 0xffu && mantissa)
+                                 ? 0x0200u
+                                 : 0u;
+    return static_cast<uint16_t>(sign | 0x7c00u | nan_bit);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // Underflow.
+    // Subnormal half: shift in the implicit leading 1.
+    mantissa |= 0x00800000u;
+    const int shift = 14 - exponent;
+    uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mantissa & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
+                  (mantissa >> 13);
+  const uint32_t rem = mantissa & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // RNE.
+  return static_cast<uint16_t>(half);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exponent = (h >> 10) & 0x1fu;
+  uint32_t mantissa = h & 0x03ffu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // Signed zero.
+    } else {
+      // Subnormal half -> normalised float.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x0400u) == 0);
+      mantissa &= 0x03ffu;
+      bits = sign | static_cast<uint32_t>(127 - 15 - e) << 23 |
+             (mantissa << 13);
+    }
+  } else if (exponent == 0x1f) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // Inf/NaN.
+  } else {
+    bits = sign | (exponent - 15 + 127) << 23 | (mantissa << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+// --------------------------------------------------------------------------
+// Payload envelope: count u32, then per matrix (rows i64, cols i64, body).
+// Codec subclasses implement only the body.
+
+class EnvelopeCodec : public Codec {
+ public:
+  std::string Encode(const std::vector<Matrix>& weights) const final {
+    std::string out;
+    AppendValue(&out, static_cast<uint32_t>(weights.size()));
+    for (const Matrix& w : weights) {
+      AppendValue(&out, w.rows());
+      AppendValue(&out, w.cols());
+      EncodeBody(w, &out);
+    }
+    return out;
+  }
+
+  Result<std::vector<Matrix>> Decode(const std::string& payload) const final {
+    size_t offset = 0;
+    uint32_t count = 0;
+    if (!ReadValue(payload, &offset, &count)) {
+      return Status::InvalidArgument("truncated payload header");
+    }
+    std::vector<Matrix> weights;
+    weights.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      int64_t rows = 0, cols = 0;
+      if (!ReadValue(payload, &offset, &rows) ||
+          !ReadValue(payload, &offset, &cols) || rows < 0 || cols < 0) {
+        return Status::InvalidArgument("malformed matrix header");
+      }
+      Matrix m(rows, cols);
+      Status st = DecodeBody(payload, &offset, &m);
+      if (!st.ok()) return st;
+      weights.push_back(std::move(m));
+    }
+    if (offset != payload.size()) {
+      return Status::InvalidArgument("trailing bytes in payload");
+    }
+    return weights;
+  }
+
+ protected:
+  virtual void EncodeBody(const Matrix& m, std::string* out) const = 0;
+  virtual Status DecodeBody(const std::string& in, size_t* offset,
+                            Matrix* m) const = 0;
+};
+
+class LosslessCodec final : public EnvelopeCodec {
+ public:
+  CodecId id() const override { return CodecId::kLossless; }
+  std::string name() const override { return "lossless"; }
+
+ protected:
+  void EncodeBody(const Matrix& m, std::string* out) const override {
+    AppendRaw(out, m.data(), static_cast<size_t>(m.size()) * sizeof(float));
+  }
+  Status DecodeBody(const std::string& in, size_t* offset,
+                    Matrix* m) const override {
+    const size_t bytes = static_cast<size_t>(m->size()) * sizeof(float);
+    if (*offset + bytes > in.size()) {
+      return Status::InvalidArgument("truncated fp32 body");
+    }
+    std::memcpy(m->data(), in.data() + *offset, bytes);
+    *offset += bytes;
+    return Status::Ok();
+  }
+};
+
+class Fp16Codec final : public EnvelopeCodec {
+ public:
+  CodecId id() const override { return CodecId::kFp16; }
+  std::string name() const override { return "fp16"; }
+
+ protected:
+  void EncodeBody(const Matrix& m, std::string* out) const override {
+    out->reserve(out->size() + static_cast<size_t>(m.size()) * 2);
+    const float* data = m.data();
+    for (int64_t i = 0; i < m.size(); ++i) {
+      AppendValue(out, FloatToHalf(data[i]));
+    }
+  }
+  Status DecodeBody(const std::string& in, size_t* offset,
+                    Matrix* m) const override {
+    const size_t bytes = static_cast<size_t>(m->size()) * sizeof(uint16_t);
+    if (*offset + bytes > in.size()) {
+      return Status::InvalidArgument("truncated fp16 body");
+    }
+    float* data = m->data();
+    for (int64_t i = 0; i < m->size(); ++i) {
+      uint16_t h;
+      std::memcpy(&h, in.data() + *offset + static_cast<size_t>(i) * 2,
+                  sizeof(h));
+      data[i] = HalfToFloat(h);
+    }
+    *offset += bytes;
+    return Status::Ok();
+  }
+};
+
+/// Per-matrix magnitude sparsification: k u64, then k (index u32, value
+/// f32) pairs sorted by index. Entries below the cut decode to zero —
+/// standard top-k gradient/weight sparsification.
+class TopKCodec final : public EnvelopeCodec {
+ public:
+  explicit TopKCodec(double ratio) : ratio_(std::clamp(ratio, 0.0, 1.0)) {}
+
+  CodecId id() const override { return CodecId::kTopK; }
+  std::string name() const override { return "topk"; }
+
+ protected:
+  void EncodeBody(const Matrix& m, std::string* out) const override {
+    const int64_t n = m.size();
+    if (n == 0) {
+      AppendValue(out, static_cast<uint64_t>(0));
+      return;
+    }
+    const int64_t k = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(ratio_ * static_cast<double>(n))));
+    std::vector<uint32_t> idx(static_cast<size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0u);
+    const float* data = m.data();
+    // Deterministic selection: magnitude desc, index asc on ties.
+    auto by_magnitude = [data](uint32_t a, uint32_t b) {
+      const float ma = std::fabs(data[a]), mb = std::fabs(data[b]);
+      if (ma != mb) return ma > mb;
+      return a < b;
+    };
+    std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+                     by_magnitude);
+    idx.resize(static_cast<size_t>(k));
+    std::sort(idx.begin(), idx.end());  // Index order for the wire.
+    AppendValue(out, static_cast<uint64_t>(k));
+    for (uint32_t i : idx) {
+      AppendValue(out, i);
+      AppendValue(out, data[i]);
+    }
+  }
+
+  Status DecodeBody(const std::string& in, size_t* offset,
+                    Matrix* m) const override {
+    uint64_t k = 0;
+    if (!ReadValue(in, offset, &k)) {
+      return Status::InvalidArgument("truncated topk header");
+    }
+    if (k > static_cast<uint64_t>(m->size())) {
+      return Status::InvalidArgument("topk count exceeds matrix size");
+    }
+    m->Zero();
+    float* data = m->data();
+    for (uint64_t e = 0; e < k; ++e) {
+      uint32_t index = 0;
+      float value = 0.0f;
+      if (!ReadValue(in, offset, &index) || !ReadValue(in, offset, &value)) {
+        return Status::InvalidArgument("truncated topk body");
+      }
+      if (index >= static_cast<uint64_t>(m->size())) {
+        return Status::InvalidArgument("topk index out of range");
+      }
+      data[index] = value;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  double ratio_;
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> MakeCodec(const std::string& name,
+                                 const CodecConfig& config) {
+  if (name == "lossless") return std::make_unique<LosslessCodec>();
+  if (name == "fp16") return std::make_unique<Fp16Codec>();
+  if (name == "topk") return std::make_unique<TopKCodec>(config.topk_ratio);
+  ADAFGL_CHECK(false && "unknown codec name");
+  return nullptr;
+}
+
+std::unique_ptr<Codec> MakeCodec(CodecId id, const CodecConfig& config) {
+  switch (id) {
+    case CodecId::kLossless: return MakeCodec("lossless", config);
+    case CodecId::kFp16: return MakeCodec("fp16", config);
+    case CodecId::kTopK: return MakeCodec("topk", config);
+  }
+  ADAFGL_CHECK(false && "unknown codec id");
+  return nullptr;
+}
+
+std::vector<std::string> CodecNames() { return {"lossless", "fp16", "topk"}; }
+
+int64_t PayloadFloatBytes(const std::vector<Matrix>& weights) {
+  int64_t total = 0;
+  for (const Matrix& w : weights) total += w.size();
+  return total * static_cast<int64_t>(sizeof(float));
+}
+
+float Fp16RoundTrip(float value) { return HalfToFloat(FloatToHalf(value)); }
+
+}  // namespace adafgl::comm

@@ -1,0 +1,74 @@
+#ifndef ADAFGL_COMM_CODEC_H_
+#define ADAFGL_COMM_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace adafgl::comm {
+
+/// Wire identifier of a codec; stored in every frame header so a receiver
+/// can decode without out-of-band configuration.
+enum class CodecId : uint8_t {
+  kLossless = 0,  ///< fp32, bit-identical round trip.
+  kFp16 = 1,      ///< IEEE 754 half precision (~2x smaller, ~1e-3 rel err).
+  kTopK = 2,      ///< Magnitude sparsification (k/n of the entries).
+};
+
+/// \brief Pluggable payload codec for `std::vector<Matrix>` messages.
+///
+/// A codec owns the *body* representation of a message — everything after
+/// the frame header (wire.h). All codecs share the same payload envelope
+/// (count + per-matrix shape headers) so `PayloadFloatBytes` and shape
+/// validation are codec-independent; only the per-matrix body differs.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Encodes a weight list into a codec payload (no frame header).
+  virtual std::string Encode(const std::vector<Matrix>& weights) const = 0;
+
+  /// Decodes a payload produced by `Encode`. InvalidArgument on malformed
+  /// or truncated input.
+  virtual Result<std::vector<Matrix>> Decode(
+      const std::string& payload) const = 0;
+};
+
+/// Parameters for codec construction (only TopK consumes any today).
+struct CodecConfig {
+  /// Fraction of entries TopK keeps per matrix, in (0, 1]; at least one
+  /// entry always survives.
+  double topk_ratio = 0.1;
+};
+
+/// Creates a codec by registry name: "lossless", "fp16", "topk". Aborts on
+/// unknown names (programming error, mirrors CreateModel).
+std::unique_ptr<Codec> MakeCodec(const std::string& name,
+                                 const CodecConfig& config = {});
+
+/// Creates the codec matching a wire id (used by receivers).
+std::unique_ptr<Codec> MakeCodec(CodecId id, const CodecConfig& config = {});
+
+/// Names accepted by MakeCodec, in canonical order.
+std::vector<std::string> CodecNames();
+
+/// Semantic fp32 volume of a weight list (`sum(size) * sizeof(float)`) —
+/// the quantity the pre-transport code called `ParamBytes()`. Codec-
+/// independent: the accounting baseline every compression factor is
+/// measured against.
+int64_t PayloadFloatBytes(const std::vector<Matrix>& weights);
+
+/// Round-trips one float through IEEE 754 half precision (exposed for
+/// error-bound tests).
+float Fp16RoundTrip(float value);
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_CODEC_H_

@@ -1,0 +1,71 @@
+#include "comm/link.h"
+
+namespace adafgl::comm {
+
+namespace {
+
+/// SplitMix64 finalizer — mixes event coordinates into an independent
+/// uniform draw without any shared generator state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LinkModel::LinkModel(const LinkOptions& options, int32_t num_clients,
+                     uint64_t seed)
+    : options_(options), seed_(seed) {
+  client_slowdown_.reserve(static_cast<size_t>(num_clients));
+  Rng rng(seed ^ 0x11f7c0ffeeULL);
+  for (int32_t c = 0; c < num_clients; ++c) {
+    client_slowdown_.push_back(
+        options_.heterogeneity > 0.0
+            ? 1.0 + rng.Uniform(0.0, options_.heterogeneity)
+            : 1.0);
+  }
+}
+
+double LinkModel::TransferSeconds(int32_t client, int64_t wire_bytes) const {
+  const double slow =
+      client >= 0 &&
+              static_cast<size_t>(client) < client_slowdown_.size()
+          ? client_slowdown_[static_cast<size_t>(client)]
+          : 1.0;
+  double seconds = options_.latency_s * slow;
+  if (options_.bandwidth_bps > 0.0) {
+    seconds +=
+        static_cast<double>(wire_bytes) / options_.bandwidth_bps * slow;
+  }
+  return seconds;
+}
+
+bool LinkModel::ClientDropsOut(int32_t client, int round) const {
+  if (options_.dropout_prob <= 0.0) return false;
+  const uint64_t event = Mix64(seed_ ^ Mix64(0xd407ULL ^
+                                             static_cast<uint64_t>(round)) ^
+                               Mix64(static_cast<uint64_t>(client) << 20));
+  return EventBernoulli(event, options_.dropout_prob);
+}
+
+bool LinkModel::MessageLost(int32_t client, int round, int64_t message_index,
+                            int attempt) const {
+  if (options_.drop_prob <= 0.0) return false;
+  uint64_t event = seed_ ^ 0x10557ULL;
+  event = Mix64(event ^ static_cast<uint64_t>(round));
+  event = Mix64(event ^ (static_cast<uint64_t>(client) << 16));
+  event = Mix64(event ^ (static_cast<uint64_t>(message_index) << 8));
+  event = Mix64(event ^ static_cast<uint64_t>(attempt));
+  return EventBernoulli(event, options_.drop_prob);
+}
+
+bool LinkModel::EventBernoulli(uint64_t seed, double p) {
+  // One SplitMix64 output mapped to [0, 1).
+  const double u =
+      static_cast<double>(Mix64(seed) >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+}  // namespace adafgl::comm

@@ -1,0 +1,81 @@
+#ifndef ADAFGL_COMM_LINK_H_
+#define ADAFGL_COMM_LINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace adafgl::comm {
+
+/// What the transport does when a message is lost in flight.
+enum class FaultPolicy {
+  kRetry,  ///< Retransmit up to `max_retries`, then drop the client.
+  kSkip,   ///< Drop the client for the round on first loss.
+};
+
+/// \brief Configuration of the simulated network between the parameter
+/// server and one federation of clients.
+///
+/// Defaults model a perfect, instantaneous network: zero latency, infinite
+/// bandwidth, no faults — under which the transport is a pure
+/// serialization boundary and training results are bit-identical to the
+/// pre-transport implementation.
+struct LinkOptions {
+  /// One-way per-message latency, seconds.
+  double latency_s = 0.0;
+  /// Link bandwidth in bytes/second; 0 means infinite.
+  double bandwidth_bps = 0.0;
+  /// Per-client heterogeneity: client links are slowed by a deterministic
+  /// factor drawn uniformly from [1, 1 + heterogeneity].
+  double heterogeneity = 0.0;
+  /// Per-message loss probability (both directions).
+  double drop_prob = 0.0;
+  /// Per-round probability a sampled client drops out entirely
+  /// (stragglers/battery/churn).
+  double dropout_prob = 0.0;
+  /// Retransmissions allowed per message under FaultPolicy::kRetry.
+  int max_retries = 2;
+  FaultPolicy policy = FaultPolicy::kRetry;
+
+  bool faulty() const { return drop_prob > 0.0 || dropout_prob > 0.0; }
+};
+
+/// \brief Deterministic per-client link simulation.
+///
+/// Produces transfer times for messages and per-round client dropout /
+/// per-message loss decisions. All randomness is derived from (seed, round,
+/// client), never from call order, so simulations replay identically under
+/// any thread schedule.
+class LinkModel {
+ public:
+  LinkModel(const LinkOptions& options, int32_t num_clients, uint64_t seed);
+
+  const LinkOptions& options() const { return options_; }
+
+  /// Seconds one message of `wire_bytes` takes on `client`'s link,
+  /// including latency. Zero under the default perfect network.
+  double TransferSeconds(int32_t client, int64_t wire_bytes) const;
+
+  /// Whether `client` drops out of `round` entirely.
+  bool ClientDropsOut(int32_t client, int round) const;
+
+  /// Whether the `attempt`-th transmission of message `message_index` from
+  /// or to `client` in `round` is lost.
+  bool MessageLost(int32_t client, int round, int64_t message_index,
+                   int attempt) const;
+
+ private:
+  /// Stateless per-event coin flip: deterministic in the event coordinates.
+  static bool EventBernoulli(uint64_t seed, double p);
+
+  LinkOptions options_;
+  uint64_t seed_;
+  /// Per-client link slowdown factors in [1, 1 + heterogeneity].
+  std::vector<double> client_slowdown_;
+};
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_LINK_H_

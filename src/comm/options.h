@@ -1,0 +1,28 @@
+#ifndef ADAFGL_COMM_OPTIONS_H_
+#define ADAFGL_COMM_OPTIONS_H_
+
+#include <string>
+
+#include "comm/link.h"
+
+namespace adafgl::comm {
+
+/// \brief Transport configuration carried inside FedConfig.
+///
+/// Defaults reproduce the pre-transport behaviour exactly: lossless fp32
+/// payloads, one worker thread, a perfect network.
+struct Options {
+  /// Payload codec for weight-bearing messages: "lossless", "fp16",
+  /// "topk". Control messages (pseudo-labels) always go lossless.
+  std::string codec = "lossless";
+  /// Fraction of entries the topk codec keeps per matrix.
+  double topk_ratio = 0.1;
+  /// Worker threads for parallel local client training (1 = serial).
+  int num_threads = 1;
+  /// Simulated network between server and clients.
+  LinkOptions link;
+};
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_OPTIONS_H_

@@ -1,0 +1,55 @@
+#ifndef ADAFGL_COMM_STATS_H_
+#define ADAFGL_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adafgl::comm {
+
+/// \brief Transport accounting, measured from actual serialized messages.
+///
+/// `bytes_*` are wire bytes (frame header + codec payload) of successfully
+/// delivered messages, plus the bytes burnt by lost transmissions — what a
+/// network interface counter would read. `payload_float_bytes_*` are the
+/// fp32-equivalent semantic volume of the delivered tensors — the quantity
+/// the pre-transport code approximated with `ParamBytes()`; the ratio of
+/// the two is the measured compression factor.
+struct CommStats {
+  int64_t bytes_up = 0;
+  int64_t bytes_down = 0;
+  int64_t payload_float_bytes_up = 0;
+  int64_t payload_float_bytes_down = 0;
+  int64_t messages_up = 0;
+  int64_t messages_down = 0;
+  /// Transmissions lost in flight (each counted once per lost attempt).
+  int64_t drops = 0;
+  /// Client-rounds lost to dropout or exhausted retries.
+  int64_t dropouts = 0;
+  /// Simulated wall-clock of the whole run: per round, the slowest
+  /// participating client's serial transfer time (links run in parallel
+  /// across clients, serially per client).
+  double sim_seconds = 0.0;
+
+  void Add(const CommStats& o) {
+    bytes_up += o.bytes_up;
+    bytes_down += o.bytes_down;
+    payload_float_bytes_up += o.payload_float_bytes_up;
+    payload_float_bytes_down += o.payload_float_bytes_down;
+    messages_up += o.messages_up;
+    messages_down += o.messages_down;
+    drops += o.drops;
+    dropouts += o.dropouts;
+    sim_seconds += o.sim_seconds;
+  }
+};
+
+/// Transport summary attached to every federated run result.
+struct CommReport {
+  CommStats stats;
+  std::string codec = "lossless";
+  int num_threads = 1;
+};
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_STATS_H_

@@ -1,0 +1,72 @@
+#include "comm/thread_pool.h"
+
+#include <algorithm>
+
+namespace adafgl::comm {
+
+ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_ = 0;
+    remaining_ = n;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates in the same dynamic claiming loop.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (next_index_ < job_size_) {
+    const size_t i = next_index_++;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  job_size_ = 0;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (job_ != nullptr && next_index_ < job_size_);
+    });
+    if (shutdown_) return;
+    const std::function<void(size_t)>* job = job_;
+    while (job == job_ && next_index_ < job_size_) {
+      const size_t i = next_index_++;
+      lock.unlock();
+      (*job)(i);
+      lock.lock();
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace adafgl::comm

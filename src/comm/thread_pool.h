@@ -1,0 +1,57 @@
+#ifndef ADAFGL_COMM_THREAD_POOL_H_
+#define ADAFGL_COMM_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adafgl::comm {
+
+/// \brief Small fixed-size worker pool for parallel local client training.
+///
+/// One pool is created per federated run and reused across rounds so worker
+/// threads are spawned once, not per round. `ParallelFor` distributes
+/// indices dynamically (atomic counter), which load-balances the uneven
+/// per-client training costs of size-skewed federations.
+///
+/// With `threads <= 1` every call runs inline on the caller's thread — the
+/// default, and the configuration under which results must be bit-identical
+/// to the historical serial implementation.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(i)` for every i in [0, n), blocking until all complete. The
+  /// caller's thread participates, so the pool adds `threads - 1` workers.
+  /// `fn` must not call ParallelFor reentrantly.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for a job.
+  std::condition_variable done_cv_;   // ParallelFor waits for completion.
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  size_t next_index_ = 0;    // Next index to claim (guarded by mu_).
+  size_t remaining_ = 0;     // Indices not yet finished.
+  uint64_t generation_ = 0;  // Bumped per job so workers see new work.
+  bool shutdown_ = false;
+};
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_THREAD_POOL_H_

@@ -1,0 +1,89 @@
+#include "comm/wire.h"
+
+#include <cstring>
+
+namespace adafgl::comm {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'F', 'G', 'C'};
+constexpr uint16_t kVersion = 1;
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(const std::string& in, size_t* offset, T* value) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string EncodeFrame(MessageType type, CodecId codec,
+                        std::string payload) {
+  std::string out;
+  out.reserve(static_cast<size_t>(kFrameHeaderBytes) + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<uint8_t>(type));
+  AppendValue(&out, static_cast<uint8_t>(codec));
+  AppendValue(&out, static_cast<uint64_t>(payload.size()));
+  AppendValue(&out, Fnv1a64(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+Result<Frame> DecodeFrame(const std::string& bytes) {
+  if (bytes.size() < static_cast<size_t>(kFrameHeaderBytes) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  size_t offset = sizeof(kMagic);
+  uint16_t version = 0;
+  uint8_t type = 0, codec = 0;
+  uint64_t payload_size = 0, checksum = 0;
+  if (!ReadValue(bytes, &offset, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported frame version");
+  }
+  if (!ReadValue(bytes, &offset, &type) ||
+      !ReadValue(bytes, &offset, &codec) ||
+      !ReadValue(bytes, &offset, &payload_size) ||
+      !ReadValue(bytes, &offset, &checksum)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  if (type < static_cast<uint8_t>(MessageType::kWeights) ||
+      type > static_cast<uint8_t>(MessageType::kEmbedding)) {
+    return Status::InvalidArgument("unknown message type");
+  }
+  if (codec > static_cast<uint8_t>(CodecId::kTopK)) {
+    return Status::InvalidArgument("unknown codec id");
+  }
+  if (bytes.size() - offset != payload_size) {
+    return Status::InvalidArgument("frame payload size mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.codec = static_cast<CodecId>(codec);
+  frame.payload = bytes.substr(offset);
+  if (Fnv1a64(frame.payload.data(), frame.payload.size()) != checksum) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  return frame;
+}
+
+}  // namespace adafgl::comm

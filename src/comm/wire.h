@@ -1,0 +1,64 @@
+#ifndef ADAFGL_COMM_WIRE_H_
+#define ADAFGL_COMM_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "comm/codec.h"
+#include "tensor/status.h"
+
+namespace adafgl::comm {
+
+/// Protocol message kinds. Stored in the frame header so a transcript of
+/// raw bytes is self-describing (and so accounting can be broken down by
+/// message class later without re-parsing payloads).
+enum class MessageType : uint8_t {
+  kWeights = 1,       ///< Full model weights (broadcast or upload).
+  kDelta = 2,         ///< Weight update / gradient signature (GCFL+).
+  kPredictions = 3,   ///< Class-probability matrix (FedGL fusion).
+  kPseudoLabels = 4,  ///< Fused pseudo-label vector (FedGL broadcast).
+  kEmbedding = 5,     ///< Functional embedding / feature moments.
+};
+
+/// A decoded frame: header fields + the raw codec payload.
+struct Frame {
+  MessageType type = MessageType::kWeights;
+  CodecId codec = CodecId::kLossless;
+  std::string payload;
+};
+
+/// \brief Message framing for the parameter-server transport.
+///
+/// Layout (little-endian):
+///   magic  "AFGC"            4 bytes
+///   version u16              2 bytes
+///   type    u8               1 byte
+///   codec   u8               1 byte
+///   payload_size u64         8 bytes
+///   checksum u64 (FNV-1a)    8 bytes
+///   payload                  payload_size bytes
+/// The checksum covers the payload only; header corruption is caught by the
+/// magic/version/size checks.
+
+/// Fixed per-message framing overhead in bytes.
+inline constexpr int64_t kFrameHeaderBytes = 4 + 2 + 1 + 1 + 8 + 8;
+
+/// FNV-1a 64-bit checksum (simple, dependency-free, good enough to catch
+/// link-level corruption in tests and simulation).
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// Wraps a codec payload in a frame.
+std::string EncodeFrame(MessageType type, CodecId codec, std::string payload);
+
+/// Parses and validates a frame; InvalidArgument on bad magic/version,
+/// truncation, trailing bytes, or checksum mismatch.
+Result<Frame> DecodeFrame(const std::string& bytes);
+
+/// Exact wire size of a message carrying `payload_size` codec bytes.
+inline int64_t WireSize(int64_t payload_size) {
+  return kFrameHeaderBytes + payload_size;
+}
+
+}  // namespace adafgl::comm
+
+#endif  // ADAFGL_COMM_WIRE_H_

@@ -374,6 +374,7 @@ AdaFglResult RunAdaFgl(const FederatedDataset& data, const FedConfig& config,
   FedConfig step1 = config;
   step1.post_local_epochs = 0;  // Personalization happens in Step 2.
   result.step1 = RunFedAvg(data, step1);
+  result.comm = result.step1.comm;
   result.bytes_up = result.step1.bytes_up;
   result.bytes_down = result.step1.bytes_down;
 

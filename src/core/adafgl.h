@@ -71,6 +71,10 @@ struct AdaFglResult {
   std::vector<double> client_hcs;
   /// Per-client head accuracies (ablation instrumentation).
   std::vector<AdaFglHeadDiagnostics> client_heads;
+  /// Step-1 transport report (codec, thread count, measured wire bytes,
+  /// simulated wall-clock). Step 2 is communication-free, so this is the
+  /// whole paradigm's communication footprint.
+  comm::CommReport comm;
   int64_t bytes_up = 0;
   int64_t bytes_down = 0;
 };

@@ -68,4 +68,47 @@ int EnvInt(const char* name, int fallback) {
   return v > 0 ? v : fallback;
 }
 
+std::string EnvStr(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || raw[0] == '\0') ? fallback : std::string(raw);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const double v = std::atof(raw);
+  return v > 0.0 ? v : fallback;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else if (b < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string FormatSimSeconds(double seconds) {
+  char buf[64];
+  if (seconds <= 0.0) {
+    return "0 s";
+  }
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
 }  // namespace adafgl

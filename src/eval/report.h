@@ -1,6 +1,7 @@
 #ifndef ADAFGL_EVAL_REPORT_H_
 #define ADAFGL_EVAL_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,21 @@ class TablePrinter {
 /// variable is unset/invalid. Benches use this for seed/round counts
 /// (ADAFGL_SEEDS, ADAFGL_ROUNDS, ...).
 int EnvInt(const char* name, int fallback);
+
+/// Reads a non-empty string environment override, or `fallback` when the
+/// variable is unset/empty (ADAFGL_CODEC, ...).
+std::string EnvStr(const char* name, const std::string& fallback);
+
+/// Reads a positive double environment override, or `fallback` when the
+/// variable is unset/invalid (ADAFGL_TOPK_RATIO, ...).
+double EnvDouble(const char* name, double fallback);
+
+/// Human-readable byte count: "512 B", "3.2 KiB", "1.8 MiB", "2.1 GiB".
+std::string FormatBytes(int64_t bytes);
+
+/// Human-readable simulated duration: "0 s" / "850 ms" / "12.4 s" /
+/// "3.1 min".
+std::string FormatSimSeconds(double seconds);
 
 }  // namespace adafgl
 

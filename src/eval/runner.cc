@@ -89,6 +89,11 @@ FedConfig BenchFedConfig() {
   cfg.local_epochs = EnvInt("ADAFGL_EPOCHS", 3);
   cfg.post_local_epochs = EnvInt("ADAFGL_POST_EPOCHS", 10);
   cfg.eval_every = 2;
+  // Transport overrides: defaults (lossless, 1 thread, perfect link)
+  // reproduce the historical serial results bit-for-bit.
+  cfg.comm.codec = EnvStr("ADAFGL_CODEC", cfg.comm.codec);
+  cfg.comm.topk_ratio = EnvDouble("ADAFGL_TOPK_RATIO", cfg.comm.topk_ratio);
+  cfg.comm.num_threads = EnvInt("ADAFGL_THREADS", cfg.comm.num_threads);
   return cfg;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "fed/transport.h"
 #include "nn/models.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
@@ -197,7 +198,8 @@ FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config) {
 
   FedRunResult result;
   std::vector<Matrix> global = clients[0]->Weights();
-  const int64_t param_bytes = clients[0]->ParamBytes();
+  comm::ParameterServer ps(config.comm, n, config.seed ^ 0xc0117abULL);
+  comm::ThreadPool pool(config.comm.num_threads);
 
   const int32_t per_round = std::max<int32_t>(
       1, static_cast<int32_t>(std::lround(config.participation * n)));
@@ -212,36 +214,45 @@ FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config) {
     }
     order.resize(static_cast<size_t>(per_round));
 
+    TrainRoundSpec spec;
+    spec.epochs = config.local_epochs;
+    std::vector<RoundClientResult> outcomes = RunTrainingRound(
+        ps, pool, clients, order, round,
+        [&](int32_t) -> const std::vector<Matrix>& { return global; }, spec);
+
     std::vector<std::vector<Matrix>> uploads;
     std::vector<double> sizes;
-    double loss_sum = 0.0;
-    for (int32_t c : order) {
-      clients[static_cast<size_t>(c)]->SetGlobalWeights(global);
-      loss_sum +=
-          clients[static_cast<size_t>(c)]->TrainEpochs(config.local_epochs);
-      uploads.push_back(clients[static_cast<size_t>(c)]->Weights());
-      sizes.push_back(static_cast<double>(
-          std::max<int64_t>(1, clients[static_cast<size_t>(c)]->num_train())));
-      result.bytes_up += param_bytes;
-      result.bytes_down += param_bytes;
+    for (RoundClientResult& r : outcomes) {
+      if (!r.participated) continue;
+      uploads.push_back(std::move(r.upload));
+      sizes.push_back(static_cast<double>(std::max<int64_t>(
+          1, clients[static_cast<size_t>(r.client)]->num_train())));
     }
-    global = AverageWeights(uploads, sizes);
+    // A fully-lost round (every sampled client dropped) keeps the previous
+    // global model instead of aborting.
+    if (!uploads.empty()) global = AverageWeights(uploads, sizes);
 
     if (round % config.eval_every == 0 || round == config.rounds) {
       for (auto& c : clients) c->SetGlobalWeights(global);
       RoundRecord rec;
       rec.round = round;
       rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = loss_sum / std::max<double>(1.0, per_round);
+      rec.train_loss = MeanParticipantLoss(outcomes);
       result.history.push_back(rec);
     }
   }
 
-  // Local correction: every client fine-tunes the final global model.
-  for (auto& c : clients) {
-    c->SetGlobalWeights(global);
-    if (config.post_local_epochs > 0) c->TrainEpochs(config.post_local_epochs);
-  }
+  // Local correction: every client fine-tunes the final global model —
+  // embarrassingly parallel, so it shares the round worker pool.
+  pool.ParallelFor(clients.size(), [&](size_t c) {
+    clients[c]->SetGlobalWeights(global);
+    if (config.post_local_epochs > 0) {
+      clients[c]->TrainEpochs(config.post_local_epochs);
+    }
+  });
+  result.comm = ps.Report();
+  result.bytes_up = result.comm.stats.bytes_up;
+  result.bytes_down = result.comm.stats.bytes_down;
   result.global_weights = std::move(global);
   result.client_test_acc.reserve(clients.size());
   for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "comm/options.h"
+#include "comm/stats.h"
 #include "fed/splits.h"
 #include "nn/model.h"
 #include "tensor/optim.h"
@@ -32,6 +34,10 @@ struct FedConfig {
   /// Evaluate the aggregated model every this many rounds.
   int eval_every = 1;
   uint64_t seed = 42;
+  /// Transport: codec, worker threads, simulated link (comm/options.h).
+  /// The defaults (lossless, 1 thread, perfect network) reproduce the
+  /// historical in-process weight exchange bit-for-bit.
+  comm::Options comm;
 };
 
 /// One per-round measurement of the aggregated global model.
@@ -49,9 +55,14 @@ struct FedRunResult {
   double final_test_acc = 0.0;
   /// Per-client final test accuracy (Fig. 2(d)).
   std::vector<double> client_test_acc;
-  /// Communication volume actually exchanged (bytes), both directions.
+  /// Communication volume actually exchanged (bytes), both directions —
+  /// measured from the serialized wire messages (mirrors
+  /// comm.stats.bytes_up/bytes_down).
   int64_t bytes_up = 0;
   int64_t bytes_down = 0;
+  /// Full transport accounting: message/byte counts, simulated wall-clock,
+  /// fault tallies, codec.
+  comm::CommReport comm;
   /// Final server-side aggregated weights (AdaFGL Step 1 consumes these).
   std::vector<Matrix> global_weights;
 };
@@ -104,6 +115,9 @@ class FedClient {
   }
   const std::vector<bool>& mask_flags() const { return is_mask_; }
 
+  /// Raw fp32 size of one weight set. Communication is accounted from the
+  /// serialized wire messages (comm/stats.h); this remains the independent
+  /// oracle the payload accounting is regression-tested against.
   int64_t ParamBytes();
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "fed/transport.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -27,7 +28,8 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
 
   FedRunResult result;
   std::vector<Matrix> global = clients[0]->Weights();
-  const int64_t param_bytes = clients[0]->ParamBytes();
+  comm::ParameterServer ps(config.comm, n, config.seed ^ 0xc0117abULL);
+  comm::ThreadPool pool(config.comm.num_threads);
   const int32_t per_round = std::max<int32_t>(
       1, static_cast<int32_t>(std::lround(config.participation * n)));
   const int warmup = std::max(1, config.rounds / 3);
@@ -41,42 +43,53 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
     }
     order.resize(static_cast<size_t>(per_round));
 
+    TrainRoundSpec spec;
+    spec.epochs = config.local_epochs;
+    std::vector<RoundClientResult> outcomes = RunTrainingRound(
+        ps, pool, clients, order, round,
+        [&](int32_t) -> const std::vector<Matrix>& { return global; }, spec);
+
     std::vector<std::vector<Matrix>> uploads;
     std::vector<double> sizes;
-    double loss_sum = 0.0;
-    for (int32_t c : order) {
-      FedClient& client = *clients[static_cast<size_t>(c)];
-      client.SetGlobalWeights(global);
-      loss_sum += client.TrainEpochs(config.local_epochs);
-      uploads.push_back(client.Weights());
-      sizes.push_back(static_cast<double>(
-          std::max<int64_t>(1, client.num_train())));
-      result.bytes_up += param_bytes;
-      result.bytes_down += param_bytes;
+    for (RoundClientResult& r : outcomes) {
+      if (!r.participated) continue;
+      uploads.push_back(std::move(r.upload));
+      sizes.push_back(static_cast<double>(std::max<int64_t>(
+          1, clients[static_cast<size_t>(r.client)]->num_train())));
     }
-    global = AverageWeights(uploads, sizes);
+    if (!uploads.empty()) global = AverageWeights(uploads, sizes);
 
     // Global self-supervision: after warmup, refresh every client's pseudo
-    // labels from the aggregated model's confident predictions.
+    // labels from the aggregated model's confident predictions. The
+    // prediction matrix travels up to the server and the fused label
+    // vector travels back down — both as real serialized messages. Re-
+    // opening the same round index replays identical dropout decisions.
     if (round >= warmup) {
-      for (auto& client : clients) {
-        client->SetGlobalWeights(global);
+      std::vector<int32_t> everyone(static_cast<size_t>(n));
+      std::iota(everyone.begin(), everyone.end(), 0);
+      ps.BeginRound(round, everyone);
+      for (int32_t c = 0; c < n; ++c) {
+        FedClient& client = *clients[static_cast<size_t>(c)];
+        if (!ps.ClientActive(c)) continue;
+        client.SetGlobalWeights(global);
         Rng eval_rng(config.seed ^ static_cast<uint64_t>(round));
-        Tensor logits = client->model().Forward(client->eval_context(),
-                                                /*training=*/false, eval_rng);
-        const Matrix probs = Softmax(logits->value());
-        // Prediction upload (server-side fusion) counted as communication.
-        result.bytes_up +=
-            probs.size() * static_cast<int64_t>(sizeof(float));
+        Tensor logits = client.model().Forward(client.eval_context(),
+                                               /*training=*/false, eval_rng);
+        // Prediction upload for server-side fusion.
+        std::optional<std::vector<Matrix>> fused = ps.Uplink(
+            c, comm::MessageType::kPredictions, {Softmax(logits->value())});
+        if (!fused.has_value()) continue;  // Lost: keep stale pseudo labels.
+        const Matrix& probs = (*fused)[0];
         std::vector<uint8_t> is_train(
-            static_cast<size_t>(client->graph().num_nodes()), 0);
-        for (int32_t v : client->graph().train_nodes) {
+            static_cast<size_t>(client.graph().num_nodes()), 0);
+        for (int32_t v : client.graph().train_nodes) {
           is_train[static_cast<size_t>(v)] = 1;
         }
-        std::vector<int32_t> pseudo_nodes;
-        std::vector<int32_t> pseudo_labels(
-            static_cast<size_t>(client->graph().num_nodes()), 0);
-        for (int32_t v = 0; v < client->graph().num_nodes(); ++v) {
+        // Server-side label fusion: confident argmax per unlabeled node,
+        // encoded as one n x 1 float vector for the downlink.
+        Matrix label_vec(client.graph().num_nodes(), 1);
+        label_vec.Fill(-1.0f);
+        for (int32_t v = 0; v < client.graph().num_nodes(); ++v) {
           if (is_train[static_cast<size_t>(v)]) continue;
           const float* p = probs.row(v);
           int32_t best = 0;
@@ -84,15 +97,27 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
             if (p[j] > p[best]) best = static_cast<int32_t>(j);
           }
           if (p[best] >= kConfidence) {
-            pseudo_nodes.push_back(v);
-            pseudo_labels[static_cast<size_t>(v)] = best;
+            label_vec(v, 0) = static_cast<float>(best);
           }
         }
-        client->SetPseudoLabels(std::move(pseudo_labels),
-                                std::move(pseudo_nodes), kPseudoWeight);
-        result.bytes_down +=
-            client->graph().num_nodes() * static_cast<int64_t>(sizeof(int32_t));
+        std::optional<std::vector<Matrix>> delivered = ps.Downlink(
+            c, comm::MessageType::kPseudoLabels, {std::move(label_vec)});
+        if (!delivered.has_value()) continue;
+        const Matrix& fused_labels = (*delivered)[0];
+        std::vector<int32_t> pseudo_nodes;
+        std::vector<int32_t> pseudo_labels(
+            static_cast<size_t>(client.graph().num_nodes()), 0);
+        for (int64_t v = 0; v < fused_labels.rows(); ++v) {
+          const float label = fused_labels(v, 0);
+          if (label < 0.0f) continue;
+          pseudo_nodes.push_back(static_cast<int32_t>(v));
+          pseudo_labels[static_cast<size_t>(v)] =
+              static_cast<int32_t>(label);
+        }
+        client.SetPseudoLabels(std::move(pseudo_labels),
+                               std::move(pseudo_nodes), kPseudoWeight);
       }
+      ps.EndRound();
     }
 
     if (round % config.eval_every == 0 || round == config.rounds) {
@@ -100,15 +125,20 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
       RoundRecord rec;
       rec.round = round;
       rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = loss_sum / std::max<double>(1.0, per_round);
+      rec.train_loss = MeanParticipantLoss(outcomes);
       result.history.push_back(rec);
     }
   }
 
-  for (auto& c : clients) {
-    c->SetGlobalWeights(global);
-    if (config.post_local_epochs > 0) c->TrainEpochs(config.post_local_epochs);
-  }
+  pool.ParallelFor(clients.size(), [&](size_t c) {
+    clients[c]->SetGlobalWeights(global);
+    if (config.post_local_epochs > 0) {
+      clients[c]->TrainEpochs(config.post_local_epochs);
+    }
+  });
+  result.comm = ps.Report();
+  result.bytes_up = result.comm.stats.bytes_up;
+  result.bytes_down = result.comm.stats.bytes_down;
   result.global_weights = std::move(global);
   for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
   result.final_test_acc = WeightedTestAccuracy(clients);

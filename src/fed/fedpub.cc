@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "data/synthetic.h"
+#include "fed/transport.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -61,7 +62,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
   GraphContext proxy_ctx = GraphContext::Create(proxy);
 
   FedRunResult result;
-  const int64_t param_bytes = clients[0]->ParamBytes();
+  comm::ParameterServer ps(cfg.comm, n, cfg.seed ^ 0xc0117abULL);
+  comm::ThreadPool pool(cfg.comm.num_threads);
   // Per-client personalized weights; start identical.
   std::vector<std::vector<Matrix>> personalized(
       static_cast<size_t>(n), clients[0]->Weights());
@@ -81,28 +83,45 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
 
     std::vector<std::vector<Matrix>> uploads(static_cast<size_t>(n));
     std::vector<std::vector<float>> embeddings(static_cast<size_t>(n));
-    std::vector<bool> participated(static_cast<size_t>(n), false);
-    double loss_sum = 0.0;
-    for (int32_t c : order) {
-      FedClient& client = *clients[static_cast<size_t>(c)];
-      client.SetGlobalWeights(personalized[static_cast<size_t>(c)]);
-      loss_sum += client.TrainEpochs(cfg.local_epochs);
-      uploads[static_cast<size_t>(c)] = client.Weights();
-      participated[static_cast<size_t>(c)] = true;
-      // Functional embedding on the shared proxy graph.
+
+    // Functional embedding on the shared (read-only) proxy graph, uplinked
+    // as its own message right after the weight upload. The server-side
+    // copy drives the similarity aggregation, so compression noise in the
+    // embedding affects the aggregation exactly as it would in deployment.
+    TrainRoundSpec spec;
+    spec.epochs = cfg.local_epochs;
+    spec.post_upload = [&](int32_t c, FedClient& client) {
       Rng fwd_rng(cfg.seed + static_cast<uint64_t>(round));
       Tensor out = client.model().Forward(proxy_ctx, /*training=*/false,
                                           fwd_rng);
-      embeddings[static_cast<size_t>(c)] = FlattenMatrix(out->value());
-      result.bytes_up += param_bytes;
-      result.bytes_down += param_bytes;
+      std::optional<std::vector<Matrix>> delivered =
+          ps.Uplink(c, comm::MessageType::kEmbedding, {out->value()});
+      if (delivered.has_value()) {
+        embeddings[static_cast<size_t>(c)] = FlattenMatrix((*delivered)[0]);
+      }
+    };
+    std::vector<RoundClientResult> outcomes = RunTrainingRound(
+        ps, pool, clients, order, round,
+        [&](int32_t c) -> const std::vector<Matrix>& {
+          return personalized[static_cast<size_t>(c)];
+        },
+        spec);
+
+    std::vector<int32_t> survivors;
+    for (RoundClientResult& r : outcomes) {
+      const auto c = static_cast<size_t>(r.client);
+      // The similarity aggregation needs both uploads to have landed.
+      if (!r.participated || embeddings[c].empty()) continue;
+      uploads[c] = std::move(r.upload);
+      survivors.push_back(r.client);
     }
 
-    // Similarity-weighted personalized aggregation per participant.
-    for (int32_t c : order) {
+    // Similarity-weighted personalized aggregation per surviving
+    // participant; clients lost this round keep their previous weights.
+    for (int32_t c : survivors) {
       std::vector<std::vector<Matrix>> sources;
       std::vector<double> weights;
-      for (int32_t j : order) {
+      for (int32_t j : survivors) {
         const double sim = Cosine(embeddings[static_cast<size_t>(c)],
                                   embeddings[static_cast<size_t>(j)]);
         sources.push_back(uploads[static_cast<size_t>(j)]);
@@ -120,16 +139,19 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
       RoundRecord rec;
       rec.round = round;
       rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = loss_sum / std::max<double>(1.0, per_round);
+      rec.train_loss = MeanParticipantLoss(outcomes);
       result.history.push_back(rec);
     }
   }
 
-  for (int32_t c = 0; c < n; ++c) {
-    FedClient& client = *clients[static_cast<size_t>(c)];
-    client.SetGlobalWeights(personalized[static_cast<size_t>(c)]);
+  pool.ParallelFor(static_cast<size_t>(n), [&](size_t c) {
+    FedClient& client = *clients[c];
+    client.SetGlobalWeights(personalized[c]);
     if (cfg.post_local_epochs > 0) client.TrainEpochs(cfg.post_local_epochs);
-  }
+  });
+  result.comm = ps.Report();
+  result.bytes_up = result.comm.stats.bytes_up;
+  result.bytes_down = result.comm.stats.bytes_down;
   result.global_weights = personalized[0];
   for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
   result.final_test_acc = WeightedTestAccuracy(clients);

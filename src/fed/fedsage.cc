@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "comm/channel.h"
+#include "comm/thread_pool.h"
 #include "nn/layers.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
@@ -11,7 +13,9 @@
 namespace adafgl {
 
 Graph MendGraphWithNeighGen(const Graph& g, const FedSageOptions& options,
-                            const Matrix& feature_mean, Rng& rng) {
+                            const Matrix& feature_mean, Rng& rng,
+                            std::vector<Matrix>* neighgen_params) {
+  if (neighgen_params != nullptr) neighgen_params->clear();
   const int32_t n = g.num_nodes();
   const int64_t f = g.feature_dim();
   std::vector<std::pair<int32_t, int32_t>> edges = UndirectedEdges(g.adj);
@@ -99,6 +103,10 @@ Graph MendGraphWithNeighGen(const Graph& g, const FedSageOptions& options,
     Backward(loss);
     opt.Step();
   }
+  if (neighgen_params != nullptr) {
+    neighgen_params->reserve(params.size());
+    for (const Tensor& p : params) neighgen_params->push_back(p->value());
+  }
 
   // --- Mend: generate neighbours on the full local graph. ---
   auto full_norm = std::make_shared<CsrMatrix>(GcnNormalized(g.adj));
@@ -165,20 +173,44 @@ FedRunResult RunFedSagePlus(const FederatedDataset& data,
     feature_mean(0, j) /= static_cast<float>(std::max<int64_t>(1, total_nodes));
   }
 
-  // Mend every client's graph, then run plain FedAvg on the mended copies.
+  // Mend every client's graph (in parallel — NeighGen training is
+  // client-local), then run plain FedAvg on the mended copies. The mend
+  // phase's exchange is real traffic: the server downlinks the shared
+  // feature moments, each client uplinks its trained NeighGen parameters.
   FederatedDataset mended = data;
+  const auto n_clients = static_cast<int32_t>(mended.clients.size());
+  comm::ParameterServer mend_ps(config.comm, std::max(1, n_clients),
+                                config.seed ^ 0x5a9ec033ULL);
+  comm::ThreadPool pool(config.comm.num_threads);
   Rng rng(config.seed ^ 0x5a9eULL);
-  int64_t mend_bytes = 0;
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(mended.clients.size());
   for (size_t c = 0; c < mended.clients.size(); ++c) {
-    Rng client_rng = rng.Fork(c);
-    mended.clients[c] = MendGraphWithNeighGen(data.clients[c], options,
-                                              feature_mean, client_rng);
-    // NeighGen params + shared moments per client.
-    mend_bytes += (64 * (f + 1 + f) + f) * static_cast<int64_t>(sizeof(float));
+    client_rngs.push_back(rng.Fork(c));
   }
+  std::vector<int32_t> everyone(static_cast<size_t>(n_clients));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  mend_ps.BeginRound(0, everyone);
+  pool.ParallelFor(mended.clients.size(), [&](size_t c) {
+    const auto client = static_cast<int32_t>(c);
+    if (!mend_ps.ClientActive(client)) return;  // Unmended, still trains.
+    std::optional<std::vector<Matrix>> moments = mend_ps.Downlink(
+        client, comm::MessageType::kEmbedding, {feature_mean});
+    if (!moments.has_value()) return;
+    std::vector<Matrix> neighgen_params;
+    mended.clients[c] =
+        MendGraphWithNeighGen(data.clients[c], options, (*moments)[0],
+                              client_rngs[c], &neighgen_params);
+    if (!neighgen_params.empty()) {
+      mend_ps.Uplink(client, comm::MessageType::kWeights, neighgen_params);
+    }
+  });
+  mend_ps.EndRound();
+
   FedRunResult result = RunFedAvg(mended, config);
-  result.bytes_up += mend_bytes;
-  result.bytes_down += mend_bytes;
+  result.comm.stats.Add(mend_ps.stats());
+  result.bytes_up = result.comm.stats.bytes_up;
+  result.bytes_down = result.comm.stats.bytes_down;
   return result;
 }
 

@@ -32,9 +32,13 @@ FedRunResult RunFedSagePlus(const FederatedDataset& data,
 
 /// Exposed for tests: mends one graph with NeighGen. `feature_mean` is the
 /// server-shared cross-client feature mean (may be empty to skip the
-/// regulariser); returns the augmented graph.
+/// regulariser); returns the augmented graph. When `neighgen_params` is
+/// non-null it receives the trained NeighGen parameter values (empty if the
+/// graph was too small to train on) — the tensors FedSage+ uplinks for
+/// communication accounting.
 Graph MendGraphWithNeighGen(const Graph& g, const FedSageOptions& options,
-                            const Matrix& feature_mean, Rng& rng);
+                            const Matrix& feature_mean, Rng& rng,
+                            std::vector<Matrix>* neighgen_params = nullptr);
 
 }  // namespace adafgl
 

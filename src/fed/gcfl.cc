@@ -5,6 +5,7 @@
 #include <deque>
 #include <numeric>
 
+#include "fed/transport.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -63,7 +64,8 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
   ADAFGL_CHECK(n > 0);
 
   FedRunResult result;
-  const int64_t param_bytes = clients[0]->ParamBytes();
+  comm::ParameterServer ps(config.comm, n, config.seed ^ 0xc0117abULL);
+  comm::ThreadPool pool(config.comm.num_threads);
   // Cluster id per client; one cluster initially.
   std::vector<int32_t> cluster(static_cast<size_t>(n), 0);
   int32_t num_clusters = 1;
@@ -71,47 +73,67 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
   std::vector<std::vector<Matrix>> cluster_weights = {clients[0]->Weights()};
   std::vector<std::deque<std::vector<float>>> windows(
       static_cast<size_t>(n));
+  std::vector<int32_t> everyone(static_cast<size_t>(n));
+  std::iota(everyone.begin(), everyone.end(), 0);
 
   for (int round = 1; round <= config.rounds; ++round) {
-    // Broadcast per-cluster weights, train everyone, collect updates.
+    // Broadcast per-cluster weights, train everyone, collect each client's
+    // weights and weight-delta (the gradient signature) as two uploads.
+    TrainRoundSpec spec;
+    spec.epochs = config.local_epochs;
+    spec.upload_delta = true;
+    std::vector<RoundClientResult> outcomes = RunTrainingRound(
+        ps, pool, clients, everyone, round,
+        [&](int32_t c) -> const std::vector<Matrix>& {
+          return cluster_weights[static_cast<size_t>(
+              cluster[static_cast<size_t>(c)])];
+        },
+        spec);
+
     std::vector<std::vector<Matrix>> uploads(static_cast<size_t>(n));
     std::vector<std::vector<float>> updates(static_cast<size_t>(n));
-    double loss_sum = 0.0;
-    for (int32_t c = 0; c < n; ++c) {
-      FedClient& client = *clients[static_cast<size_t>(c)];
-      client.SetGlobalWeights(
-          cluster_weights[static_cast<size_t>(cluster[static_cast<size_t>(c)])]);
-      loss_sum += client.TrainEpochs(config.local_epochs);
-      uploads[static_cast<size_t>(c)] = client.Weights();
-      updates[static_cast<size_t>(c)] = Flatten(client.last_delta());
-      auto& w = windows[static_cast<size_t>(c)];
-      w.push_back(updates[static_cast<size_t>(c)]);
+    std::vector<bool> participated(static_cast<size_t>(n), false);
+    for (RoundClientResult& r : outcomes) {
+      if (!r.participated) continue;
+      const auto c = static_cast<size_t>(r.client);
+      participated[c] = true;
+      uploads[c] = std::move(r.upload);
+      updates[c] = Flatten(r.delta_upload);
+      auto& w = windows[c];
+      w.push_back(updates[c]);
       while (static_cast<int>(w.size()) > options.window) w.pop_front();
-      result.bytes_up += param_bytes * 2;  // Weights + gradient signature.
-      result.bytes_down += param_bytes;
     }
 
-    // Per-cluster aggregation.
+    // Per-cluster aggregation over this round's survivors; a cluster whose
+    // members all dropped keeps its previous weights.
+    std::vector<std::vector<Matrix>> prev_weights =
+        std::move(cluster_weights);
     cluster_weights.assign(static_cast<size_t>(num_clusters), {});
     for (int32_t k = 0; k < num_clusters; ++k) {
       std::vector<std::vector<Matrix>> members;
       std::vector<double> sizes;
       for (int32_t c = 0; c < n; ++c) {
         if (cluster[static_cast<size_t>(c)] != k) continue;
+        if (!participated[static_cast<size_t>(c)]) continue;
         members.push_back(uploads[static_cast<size_t>(c)]);
         sizes.push_back(static_cast<double>(std::max<int64_t>(
             1, clients[static_cast<size_t>(c)]->num_train())));
       }
-      ADAFGL_CHECK(!members.empty());
       cluster_weights[static_cast<size_t>(k)] =
-          AverageWeights(members, sizes);
+          members.empty() ? prev_weights[static_cast<size_t>(k)]
+                          : AverageWeights(members, sizes);
     }
 
-    // GCFL split criterion per cluster.
+    // GCFL split criterion per cluster, over members whose signature
+    // window has data (a client lost to faults before its first round
+    // contributes nothing).
     for (int32_t k = 0; k < num_clusters; ++k) {
       std::vector<int32_t> members;
       for (int32_t c = 0; c < n; ++c) {
-        if (cluster[static_cast<size_t>(c)] == k) members.push_back(c);
+        if (cluster[static_cast<size_t>(c)] != k) continue;
+        if (!participated[static_cast<size_t>(c)]) continue;
+        if (windows[static_cast<size_t>(c)].empty()) continue;
+        members.push_back(c);
       }
       if (members.size() < 3) continue;
       double mean_norm = 0.0, max_norm = 0.0;
@@ -162,19 +184,22 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
       RoundRecord rec;
       rec.round = round;
       rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = loss_sum / std::max(1, n);
+      rec.train_loss = MeanParticipantLoss(outcomes);
       result.history.push_back(rec);
     }
   }
 
-  for (int32_t c = 0; c < n; ++c) {
-    FedClient& client = *clients[static_cast<size_t>(c)];
+  pool.ParallelFor(static_cast<size_t>(n), [&](size_t c) {
+    FedClient& client = *clients[c];
     client.SetGlobalWeights(
-        cluster_weights[static_cast<size_t>(cluster[static_cast<size_t>(c)])]);
+        cluster_weights[static_cast<size_t>(cluster[c])]);
     if (config.post_local_epochs > 0) {
       client.TrainEpochs(config.post_local_epochs);
     }
-  }
+  });
+  result.comm = ps.Report();
+  result.bytes_up = result.comm.stats.bytes_up;
+  result.bytes_down = result.comm.stats.bytes_down;
   result.global_weights = cluster_weights[0];
   for (auto& c : clients) result.client_test_acc.push_back(c->EvalTest());
   result.final_test_acc = WeightedTestAccuracy(clients);

@@ -1,0 +1,58 @@
+#include "fed/transport.h"
+
+#include <algorithm>
+
+namespace adafgl {
+
+std::vector<RoundClientResult> RunTrainingRound(
+    comm::ParameterServer& ps, comm::ThreadPool& pool,
+    std::vector<std::unique_ptr<FedClient>>& clients,
+    const std::vector<int32_t>& order, int round,
+    const std::function<const std::vector<Matrix>&(int32_t)>& weights_for,
+    const TrainRoundSpec& spec) {
+  std::vector<RoundClientResult> results(order.size());
+  ps.BeginRound(round, order);
+  pool.ParallelFor(order.size(), [&](size_t i) {
+    const int32_t c = order[i];
+    RoundClientResult& out = results[i];
+    out.client = c;
+    if (!ps.ClientActive(c)) return;  // Dropped out this round.
+    FedClient& client = *clients[static_cast<size_t>(c)];
+
+    std::optional<std::vector<Matrix>> broadcast =
+        ps.Downlink(c, comm::MessageType::kWeights, weights_for(c));
+    if (!broadcast.has_value()) return;
+    client.SetGlobalWeights(*broadcast);
+
+    out.loss = client.TrainEpochs(spec.epochs);
+
+    std::optional<std::vector<Matrix>> upload =
+        ps.Uplink(c, comm::MessageType::kWeights, client.Weights());
+    if (!upload.has_value()) return;  // Upload lost: can't aggregate.
+    out.upload = std::move(*upload);
+
+    if (spec.upload_delta) {
+      std::optional<std::vector<Matrix>> delta =
+          ps.Uplink(c, comm::MessageType::kDelta, client.last_delta());
+      if (!delta.has_value()) return;
+      out.delta_upload = std::move(*delta);
+    }
+    out.participated = true;
+    if (spec.post_upload) spec.post_upload(c, client);
+  });
+  ps.EndRound();
+  return results;
+}
+
+double MeanParticipantLoss(const std::vector<RoundClientResult>& results) {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const RoundClientResult& r : results) {
+    if (!r.participated) continue;
+    sum += r.loss;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace adafgl

@@ -1,0 +1,58 @@
+#ifndef ADAFGL_FED_TRANSPORT_H_
+#define ADAFGL_FED_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/thread_pool.h"
+#include "fed/federation.h"
+
+namespace adafgl {
+
+/// Server-side view of one client's contribution to a training round.
+struct RoundClientResult {
+  int32_t client = -1;
+  /// True iff both the broadcast and the upload survived the link. Only
+  /// participating clients may enter the aggregation.
+  bool participated = false;
+  double loss = 0.0;
+  /// Decoded upload (the server's copy of the client weights).
+  std::vector<Matrix> upload;
+  /// Decoded weight-delta upload; filled only when `upload_delta` is set.
+  std::vector<Matrix> delta_upload;
+};
+
+/// Per-round hooks and knobs for RunTrainingRound.
+struct TrainRoundSpec {
+  int epochs = 1;
+  /// Also uplink TrainEpochs' weight delta (GCFL+'s gradient signature).
+  bool upload_delta = false;
+  /// Optional extra work on the worker thread after a successful upload —
+  /// e.g. FED-PUB's functional-embedding computation + uplink. Runs only
+  /// for participating clients.
+  std::function<void(int32_t client, FedClient& fed_client)> post_upload;
+};
+
+/// \brief One synchronous parameter-server round over `order`.
+///
+/// For every sampled client, concurrently on `pool`: downlink that
+/// client's weights through `ps`, install them, run local training, uplink
+/// the result. All weight movement crosses the serialized transport; link
+/// faults surface as `participated = false` (the round proceeds with the
+/// survivors). Results are indexed like `order` and deterministic for a
+/// fixed seed regardless of the pool's thread count.
+std::vector<RoundClientResult> RunTrainingRound(
+    comm::ParameterServer& ps, comm::ThreadPool& pool,
+    std::vector<std::unique_ptr<FedClient>>& clients,
+    const std::vector<int32_t>& order, int round,
+    const std::function<const std::vector<Matrix>&(int32_t)>& weights_for,
+    const TrainRoundSpec& spec);
+
+/// Sum of participant losses / number of participants (0 when none).
+double MeanParticipantLoss(const std::vector<RoundClientResult>& results);
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_TRANSPORT_H_

@@ -79,6 +79,13 @@ class Result {
   T& value() & { return value_; }
   T&& value() && { return std::move(value_); }
 
+  // StatusOr-style accessors; valid only when ok().
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  T&& operator*() && { return std::move(value_); }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
   /// Returns the contained value, aborting if the result holds an error.
   T ValueOrDie() && {
     if (!ok()) {

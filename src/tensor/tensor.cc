@@ -7,7 +7,7 @@
 
 namespace adafgl {
 
-int64_t TensorNode::next_id_ = 0;
+std::atomic<int64_t> TensorNode::next_id_{0};
 
 void TensorNode::AccumulateGrad(const Matrix& g) {
   ADAFGL_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols());

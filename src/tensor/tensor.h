@@ -1,6 +1,7 @@
 #ifndef ADAFGL_TENSOR_TENSOR_H_
 #define ADAFGL_TENSOR_TENSOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -26,7 +27,7 @@ class TensorNode {
  public:
   TensorNode(Matrix value, bool requires_grad)
       : value_(std::move(value)), requires_grad_(requires_grad),
-        id_(next_id_++) {}
+        id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
 
   TensorNode(const TensorNode&) = delete;
   TensorNode& operator=(const TensorNode&) = delete;
@@ -62,7 +63,10 @@ class TensorNode {
   }
 
  private:
-  static int64_t next_id_;
+  // Atomic so clients may build their autograd graphs on parallel worker
+  // threads; ids stay monotone within any single thread's graph, which is
+  // all the backward sweep's topological ordering needs.
+  static std::atomic<int64_t> next_id_;
 
   Matrix value_;
   Matrix grad_;

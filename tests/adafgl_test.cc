@@ -43,6 +43,12 @@ TEST(AdaFglTest, ProducesCompleteResult) {
   EXPECT_GT(r.final_test_acc, 0.0);
   EXPECT_LE(r.final_test_acc, 1.0);
   EXPECT_GT(r.bytes_up, 0);
+  // Step 1 is the paradigm's entire communication footprint; the transport
+  // report must mirror the legacy byte counters.
+  EXPECT_EQ(r.comm.stats.bytes_up, r.bytes_up);
+  EXPECT_EQ(r.comm.stats.bytes_down, r.bytes_down);
+  EXPECT_GT(r.comm.stats.messages_up, 0);
+  EXPECT_EQ(r.comm.codec, "lossless");
 }
 
 TEST(AdaFglTest, HcsInUnitInterval) {

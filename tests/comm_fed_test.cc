@@ -1,0 +1,188 @@
+// Federated-level tests of the transport layer: codec compression factors,
+// fault-injection robustness, and thread-count invariance of training
+// results. Unit tests of the comm primitives live in comm_test.cc.
+#include <gtest/gtest.h>
+
+#include "fed/fedgl.h"
+#include "fed/fedpub.h"
+#include "fed/fedsage.h"
+#include "fed/gcfl.h"
+#include "fed/splits.h"
+#include "test_util.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+FedConfig TinyConfig() {
+  FedConfig cfg;
+  cfg.rounds = 4;
+  cfg.local_epochs = 2;
+  cfg.post_local_epochs = 2;
+  cfg.hidden = 16;
+  cfg.eval_every = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+FederatedDataset TinyFederation(int clients = 3, uint64_t seed = 71) {
+  Graph g = MakeSmallSbm(240, 3, 0.85, seed);
+  Rng rng(seed + 1);
+  return StructureNonIidSplit(g, clients, InjectionMode::kNone, 0.5, rng);
+}
+
+void ExpectSameRun(const FedRunResult& a, const FedRunResult& b) {
+  EXPECT_EQ(a.final_test_acc, b.final_test_acc);
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+  EXPECT_EQ(a.bytes_down, b.bytes_down);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].test_acc, b.history[i].test_acc);
+    EXPECT_EQ(a.history[i].train_loss, b.history[i].train_loss);
+  }
+  ASSERT_EQ(a.client_test_acc.size(), b.client_test_acc.size());
+  for (size_t i = 0; i < a.client_test_acc.size(); ++i) {
+    EXPECT_EQ(a.client_test_acc[i], b.client_test_acc[i]);
+  }
+}
+
+TEST(CommFedTest, TwoWorkerThreadsReproduceSerialRunExactly) {
+  // The acceptance bar for the parallel executor: under the lossless codec
+  // the thread count must not change a single reported number.
+  FederatedDataset fd = TinyFederation();
+  FedConfig serial = TinyConfig();
+  serial.comm.num_threads = 1;
+  FedConfig threaded = TinyConfig();
+  threaded.comm.num_threads = 2;
+  ExpectSameRun(RunFedAvg(fd, serial), RunFedAvg(fd, threaded));
+}
+
+TEST(CommFedTest, ThreadCountInvarianceHoldsForBaselines) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig serial = TinyConfig();
+  serial.rounds = 3;
+  FedConfig threaded = serial;
+  threaded.comm.num_threads = 3;
+  ExpectSameRun(RunGcflPlus(fd, serial), RunGcflPlus(fd, threaded));
+  ExpectSameRun(RunFedGL(fd, serial), RunFedGL(fd, threaded));
+  ExpectSameRun(RunFedPub(fd, serial), RunFedPub(fd, threaded));
+}
+
+TEST(CommFedTest, Fp16RoughlyHalvesWireBytes) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult dense = RunFedAvg(fd, cfg);
+  cfg.comm.codec = "fp16";
+  FedRunResult half = RunFedAvg(fd, cfg);
+  // Same semantic volume, roughly half the wire bytes (frame + envelope
+  // overhead keeps the ratio a bit above 0.5).
+  EXPECT_EQ(half.comm.stats.payload_float_bytes_up,
+            dense.comm.stats.payload_float_bytes_up);
+  const double ratio = static_cast<double>(half.bytes_up) /
+                       static_cast<double>(dense.bytes_up);
+  EXPECT_GT(ratio, 0.45);
+  EXPECT_LT(ratio, 0.60);
+  // Half precision of a small GCN should not destroy training.
+  EXPECT_GT(half.final_test_acc, 0.4);
+}
+
+TEST(CommFedTest, TopKCutsWireBytesByRoughlyKOverN) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult dense = RunFedAvg(fd, cfg);
+  cfg.comm.codec = "topk";
+  cfg.comm.topk_ratio = 0.1;
+  FedRunResult sparse = RunFedAvg(fd, cfg);
+  // Kept entries cost 8 bytes (index + value) vs 4 dense, so ratio 0.1
+  // lands near 0.2x the dense payload (a bit above with the per-matrix
+  // overhead of this small model); still a ~3x or better saving.
+  const double ratio = static_cast<double>(sparse.bytes_up) /
+                       static_cast<double>(dense.bytes_up);
+  EXPECT_LT(ratio, 0.35);
+  EXPECT_GT(sparse.final_test_acc, 0.0);
+}
+
+TEST(CommFedTest, DropoutDegradesGracefully) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  FedRunResult clean = RunFedAvg(fd, cfg);
+  cfg.comm.link.dropout_prob = 0.3;
+  FedRunResult faulty = RunFedAvg(fd, cfg);
+  // The run completes with the full history, loses some client-rounds,
+  // spends less traffic, and still produces a sane model.
+  EXPECT_EQ(faulty.history.size(), clean.history.size());
+  EXPECT_GT(faulty.comm.stats.dropouts, 0);
+  EXPECT_LT(faulty.bytes_up, clean.bytes_up);
+  EXPECT_GT(faulty.final_test_acc, 0.3);
+}
+
+TEST(CommFedTest, MessageLossUnderRetryKeepsTraining) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.comm.link.drop_prob = 0.15;
+  cfg.comm.link.max_retries = 4;
+  FedRunResult r = RunFedAvg(fd, cfg);
+  EXPECT_GT(r.comm.stats.drops, 0);  // Losses happened and were billed...
+  EXPECT_GT(r.final_test_acc, 0.3);  // ...but retries kept the run healthy.
+}
+
+TEST(CommFedTest, AllBaselinesSurviveFaultInjection) {
+  // Graceful degradation, not crashes: every algorithm must cope with
+  // losing clients mid-round (empty clusters, missing embeddings, stale
+  // pseudo labels, unmended graphs).
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.rounds = 3;
+  cfg.comm.link.dropout_prob = 0.35;
+  cfg.comm.link.drop_prob = 0.10;
+  cfg.comm.link.policy = comm::FaultPolicy::kSkip;
+  for (int variant = 0; variant < 4; ++variant) {
+    FedRunResult r;
+    switch (variant) {
+      case 0: r = RunFedGL(fd, cfg); break;
+      case 1: r = RunGcflPlus(fd, cfg); break;
+      case 2: r = RunFedSagePlus(fd, cfg); break;
+      default: r = RunFedPub(fd, cfg); break;
+    }
+    EXPECT_EQ(r.history.size(), 3u) << "variant " << variant;
+    EXPECT_GE(r.final_test_acc, 0.0) << "variant " << variant;
+    EXPECT_LE(r.final_test_acc, 1.0) << "variant " << variant;
+    EXPECT_GT(r.comm.stats.dropouts, 0) << "variant " << variant;
+  }
+}
+
+TEST(CommFedTest, SimulatedRoundTimeTracksLinkSpeed) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.comm.link.latency_s = 0.05;
+  cfg.comm.link.bandwidth_bps = 1e6;
+  FedRunResult slow = RunFedAvg(fd, cfg);
+  EXPECT_GT(slow.comm.stats.sim_seconds, 0.0);
+  cfg.comm.link.bandwidth_bps = 1e8;
+  FedRunResult fast = RunFedAvg(fd, cfg);
+  EXPECT_LT(fast.comm.stats.sim_seconds, slow.comm.stats.sim_seconds);
+  // Compression shortens the simulated clock too.
+  cfg.comm.link.bandwidth_bps = 1e6;
+  cfg.comm.codec = "fp16";
+  FedRunResult compressed = RunFedAvg(fd, cfg);
+  EXPECT_LT(compressed.comm.stats.sim_seconds, slow.comm.stats.sim_seconds);
+}
+
+TEST(CommFedTest, FedSageCountsMendPhaseTraffic) {
+  FederatedDataset fd = TinyFederation();
+  FedConfig cfg = TinyConfig();
+  cfg.rounds = 2;
+  FedSageOptions opt;
+  opt.neighgen_epochs = 5;
+  FedRunResult sage = RunFedSagePlus(fd, cfg, opt);
+  FedRunResult avg = RunFedAvg(fd, cfg);
+  // NeighGen parameter uploads + feature-moment downlinks ride on top of
+  // the (mended-graph) FedAvg weight traffic.
+  EXPECT_GT(sage.bytes_up, avg.bytes_up);
+  EXPECT_GT(sage.bytes_down, avg.bytes_down);
+  EXPECT_EQ(sage.bytes_up, sage.comm.stats.bytes_up);
+}
+
+}  // namespace
+}  // namespace adafgl

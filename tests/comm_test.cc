@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/codec.h"
+#include "comm/link.h"
+#include "comm/thread_pool.h"
+#include "comm/wire.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace adafgl::comm {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const std::vector<Matrix>& a,
+                        const std::vector<Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].rows(), b[i].rows()) << "matrix " << i;
+    ASSERT_EQ(a[i].cols(), b[i].cols()) << "matrix " << i;
+    for (int64_t j = 0; j < a[i].size(); ++j) {
+      // Bit-level comparison: even NaNs and signed zeros must survive.
+      uint32_t ba, bb;
+      std::memcpy(&ba, a[i].data() + j, 4);
+      std::memcpy(&bb, b[i].data() + j, 4);
+      EXPECT_EQ(ba, bb) << "matrix " << i << " entry " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- wire ----
+
+TEST(WireTest, FrameRoundTripPreservesHeaderAndPayload) {
+  const std::string payload = "hello tensors";
+  const std::string bytes =
+      EncodeFrame(MessageType::kPredictions, CodecId::kFp16, payload);
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()),
+            WireSize(static_cast<int64_t>(payload.size())));
+  Result<Frame> frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->type, MessageType::kPredictions);
+  EXPECT_EQ(frame->codec, CodecId::kFp16);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(WireTest, EmptyPayloadRoundTrips) {
+  const std::string bytes =
+      EncodeFrame(MessageType::kWeights, CodecId::kLossless, "");
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()), kFrameHeaderBytes);
+  Result<Frame> frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(WireTest, DetectsPayloadCorruption) {
+  std::string bytes =
+      EncodeFrame(MessageType::kWeights, CodecId::kLossless, "abcdefgh");
+  bytes[static_cast<size_t>(kFrameHeaderBytes) + 3] ^= 0x40;
+  Result<Frame> frame = DecodeFrame(bytes);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(WireTest, DetectsTruncationAndTrailingBytes) {
+  const std::string bytes =
+      EncodeFrame(MessageType::kWeights, CodecId::kLossless, "abcdefgh");
+  EXPECT_FALSE(DecodeFrame(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(DecodeFrame(bytes.substr(0, 10)).ok());
+  EXPECT_FALSE(DecodeFrame("").ok());
+  EXPECT_FALSE(DecodeFrame(bytes + "x").ok());
+}
+
+TEST(WireTest, DetectsBadMagicAndVersion) {
+  std::string bytes =
+      EncodeFrame(MessageType::kWeights, CodecId::kLossless, "abc");
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Z';
+  EXPECT_FALSE(DecodeFrame(bad_magic).ok());
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0x7f);
+  EXPECT_FALSE(DecodeFrame(bad_version).ok());
+}
+
+TEST(WireTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+// --------------------------------------------------------------- codecs ----
+
+TEST(CodecTest, RegistryKnowsAllCodecs) {
+  for (const std::string& name : CodecNames()) {
+    auto codec = MakeCodec(name);
+    EXPECT_EQ(codec->name(), name);
+    EXPECT_EQ(MakeCodec(codec->id())->name(), name);
+  }
+}
+
+TEST(CodecTest, LosslessRoundTripIsBitIdentical) {
+  const std::vector<Matrix> weights = {
+      RandomMatrix(7, 13, 1),   // Non-square.
+      RandomMatrix(1, 1, 2),    // Scalar.
+      Matrix(),                 // Empty (0 x 0).
+      Matrix(5, 0),             // Zero-column.
+      RandomMatrix(64, 32, 3),  // Large-ish.
+  };
+  auto codec = MakeCodec("lossless");
+  Result<std::vector<Matrix>> decoded = codec->Decode(codec->Encode(weights));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ExpectBitIdentical(weights, *decoded);
+}
+
+TEST(CodecTest, LosslessEmptyListRoundTrips) {
+  auto codec = MakeCodec("lossless");
+  Result<std::vector<Matrix>> decoded = codec->Decode(codec->Encode({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CodecTest, LosslessRejectsMalformedPayloads) {
+  auto codec = MakeCodec("lossless");
+  const std::string payload = codec->Encode({RandomMatrix(3, 4, 4)});
+  EXPECT_FALSE(codec->Decode(payload.substr(0, payload.size() - 2)).ok());
+  EXPECT_FALSE(codec->Decode(payload + "xx").ok());
+  EXPECT_FALSE(codec->Decode("").ok());
+  EXPECT_FALSE(codec->Decode("ab").ok());
+}
+
+TEST(CodecTest, LosslessPayloadSizeMatchesFloatVolume) {
+  const std::vector<Matrix> weights = {RandomMatrix(10, 20, 5),
+                                       RandomMatrix(20, 3, 6)};
+  auto codec = MakeCodec("lossless");
+  // Envelope: u32 count + 2x(i64 rows + i64 cols); body: fp32 entries.
+  EXPECT_EQ(static_cast<int64_t>(codec->Encode(weights).size()),
+            4 + 2 * 16 + PayloadFloatBytes(weights));
+}
+
+TEST(CodecTest, Fp16HalvesPayloadWithinErrorBound) {
+  const std::vector<Matrix> weights = {RandomMatrix(40, 30, 7)};
+  auto lossless = MakeCodec("lossless");
+  auto fp16 = MakeCodec("fp16");
+  const std::string p32 = lossless->Encode(weights);
+  const std::string p16 = fp16->Encode(weights);
+  // Bodies shrink exactly 2x; envelope overhead is shared.
+  EXPECT_EQ(p16.size() - (4 + 16), (p32.size() - (4 + 16)) / 2);
+
+  Result<std::vector<Matrix>> decoded = fp16->Decode(p16);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  for (int64_t i = 0; i < weights[0].size(); ++i) {
+    const float x = weights[0].data()[i];
+    // binary16 has 10 mantissa bits: relative error <= 2^-11 for normals.
+    EXPECT_NEAR((*decoded)[0].data()[i], x, std::abs(x) / 2048.0f + 1e-7f);
+  }
+}
+
+TEST(CodecTest, Fp16RoundTripExactOnRepresentableValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(Fp16RoundTrip(v), v) << v;
+  }
+  // Values beyond half range saturate to +-inf rather than wrapping.
+  EXPECT_TRUE(std::isinf(Fp16RoundTrip(1e30f)));
+  EXPECT_LT(Fp16RoundTrip(-1e30f), 0.0f);
+  // Round-to-nearest-even on the mantissa boundary.
+  EXPECT_NEAR(Fp16RoundTrip(0.1f), 0.1f, 0.1f / 2048.0f);
+}
+
+TEST(CodecTest, TopKKeepsLargestMagnitudesZeroesRest) {
+  Matrix m(1, 10, {0.1f, -5.0f, 0.2f, 3.0f, -0.3f, 0.05f, 4.0f, -0.01f,
+                   0.15f, 2.0f});
+  CodecConfig config;
+  config.topk_ratio = 0.4;  // Keep 4 of 10.
+  auto codec = MakeCodec("topk", config);
+  Result<std::vector<Matrix>> decoded = codec->Decode(codec->Encode({m}));
+  ASSERT_TRUE(decoded.ok());
+  const Matrix& d = (*decoded)[0];
+  // Largest |.|: -5, 4, 3, 2 survive exactly; everything else is zeroed.
+  EXPECT_EQ(d(0, 1), -5.0f);
+  EXPECT_EQ(d(0, 6), 4.0f);
+  EXPECT_EQ(d(0, 3), 3.0f);
+  EXPECT_EQ(d(0, 9), 2.0f);
+  for (int64_t j : {0, 2, 4, 5, 7, 8}) EXPECT_EQ(d(0, j), 0.0f) << j;
+}
+
+TEST(CodecTest, TopKPayloadScalesWithRatio) {
+  const std::vector<Matrix> weights = {RandomMatrix(50, 40, 8)};
+  CodecConfig config;
+  config.topk_ratio = 0.1;
+  auto topk = MakeCodec("topk", config);
+  auto lossless = MakeCodec("lossless");
+  // Kept entries cost (u32 index + f32 value) = 8 bytes vs 4 for dense
+  // fp32, so a 0.1 ratio lands near 0.2x the dense payload.
+  const auto sparse = static_cast<double>(topk->Encode(weights).size());
+  const auto dense = static_cast<double>(lossless->Encode(weights).size());
+  EXPECT_LT(sparse / dense, 0.25);
+  EXPECT_GT(sparse / dense, 0.15);
+}
+
+TEST(CodecTest, TopKKeepsAtLeastOneEntry) {
+  CodecConfig config;
+  config.topk_ratio = 1e-9;
+  auto codec = MakeCodec("topk", config);
+  Matrix m(2, 2, {0.0f, 0.0f, 7.0f, 0.0f});
+  Result<std::vector<Matrix>> decoded = codec->Decode(codec->Encode({m}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0](1, 0), 7.0f);
+}
+
+TEST(CodecTest, TopKFullRatioIsLossless) {
+  CodecConfig config;
+  config.topk_ratio = 1.0;
+  auto codec = MakeCodec("topk", config);
+  const std::vector<Matrix> weights = {RandomMatrix(9, 11, 9)};
+  Result<std::vector<Matrix>> decoded = codec->Decode(codec->Encode(weights));
+  ASSERT_TRUE(decoded.ok());
+  ExpectBitIdentical(weights, *decoded);
+}
+
+// ----------------------------------------------------------------- link ----
+
+TEST(LinkTest, PerfectNetworkIsFreeAndFaultless) {
+  LinkModel link(LinkOptions{}, 4, 42);
+  EXPECT_EQ(link.TransferSeconds(0, 1 << 20), 0.0);
+  for (int32_t c = 0; c < 4; ++c) {
+    EXPECT_FALSE(link.ClientDropsOut(c, 1));
+    EXPECT_FALSE(link.MessageLost(c, 1, 0, 0));
+  }
+}
+
+TEST(LinkTest, TransferTimeIsLatencyPlusBytesOverBandwidth) {
+  LinkOptions opt;
+  opt.latency_s = 0.05;
+  opt.bandwidth_bps = 1e6;
+  LinkModel link(opt, 2, 42);
+  EXPECT_NEAR(link.TransferSeconds(0, 500000), 0.05 + 0.5, 1e-9);
+}
+
+TEST(LinkTest, HeterogeneitySlowsClientsDeterministically) {
+  LinkOptions opt;
+  opt.latency_s = 0.01;
+  opt.bandwidth_bps = 1e6;
+  opt.heterogeneity = 1.0;
+  LinkModel a(opt, 8, 42);
+  LinkModel b(opt, 8, 42);
+  bool any_slower = false;
+  for (int32_t c = 0; c < 8; ++c) {
+    const double ta = a.TransferSeconds(c, 100000);
+    EXPECT_EQ(ta, b.TransferSeconds(c, 100000));  // Same seed, same times.
+    EXPECT_GE(ta, 0.01 + 0.1 - 1e-12);
+    EXPECT_LE(ta, 2.0 * (0.01 + 0.1) + 1e-12);
+    if (ta > 0.01 + 0.1 + 1e-9) any_slower = true;
+  }
+  EXPECT_TRUE(any_slower);
+}
+
+TEST(LinkTest, FaultDecisionsAreStatelessInEventCoordinates) {
+  LinkOptions opt;
+  opt.drop_prob = 0.5;
+  opt.dropout_prob = 0.5;
+  LinkModel link(opt, 16, 7);
+  LinkModel replay(opt, 16, 7);
+  int lost = 0, out = 0;
+  for (int32_t c = 0; c < 16; ++c) {
+    for (int round = 1; round <= 8; ++round) {
+      EXPECT_EQ(link.ClientDropsOut(c, round),
+                replay.ClientDropsOut(c, round));
+      EXPECT_EQ(link.MessageLost(c, round, 3, 1),
+                replay.MessageLost(c, round, 3, 1));
+      out += link.ClientDropsOut(c, round) ? 1 : 0;
+      lost += link.MessageLost(c, round, 3, 1) ? 1 : 0;
+    }
+  }
+  // p = 0.5 over 128 events: both outcomes must occur.
+  EXPECT_GT(out, 0);
+  EXPECT_LT(out, 128);
+  EXPECT_GT(lost, 0);
+  EXPECT_LT(lost, 128);
+  // Different attempts of the same message are independent coins.
+  bool differs = false;
+  for (int32_t c = 0; c < 16 && !differs; ++c) {
+    differs = link.MessageLost(c, 1, 0, 0) != link.MessageLost(c, 1, 0, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndHandlesEmpty) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "empty job ran an index"; });
+  std::atomic<int> total{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.ParallelFor(17, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20 * 17);
+}
+
+// -------------------------------------------------------------- channel ----
+
+Options PerfectOptions() { return Options{}; }
+
+TEST(ChannelTest, LosslessDeliversBitIdenticalTensors) {
+  ParameterServer ps(PerfectOptions(), 2, 99);
+  const std::vector<Matrix> weights = {RandomMatrix(6, 4, 10),
+                                       RandomMatrix(4, 3, 11)};
+  ps.BeginRound(1, {0, 1});
+  auto down = ps.Downlink(0, MessageType::kWeights, weights);
+  auto up = ps.Uplink(1, MessageType::kWeights, weights);
+  ps.EndRound();
+  ASSERT_TRUE(down.has_value());
+  ASSERT_TRUE(up.has_value());
+  ExpectBitIdentical(weights, *down);
+  ExpectBitIdentical(weights, *up);
+
+  const CommStats s = ps.stats();
+  const int64_t payload = PayloadFloatBytes(weights);
+  EXPECT_EQ(s.payload_float_bytes_down, payload);
+  EXPECT_EQ(s.payload_float_bytes_up, payload);
+  // Wire = frame header + envelope (count + 2 shape headers) + fp32 body.
+  EXPECT_EQ(s.bytes_down, kFrameHeaderBytes + 4 + 2 * 16 + payload);
+  EXPECT_EQ(s.bytes_up, s.bytes_down);
+  EXPECT_EQ(s.messages_up, 1);
+  EXPECT_EQ(s.messages_down, 1);
+  EXPECT_EQ(s.drops, 0);
+  EXPECT_EQ(s.sim_seconds, 0.0);
+}
+
+TEST(ChannelTest, CompressionAppliesToWeightsButNotControlMessages) {
+  Options opt;
+  opt.codec = "fp16";
+  ParameterServer ps(opt, 1, 99);
+  const std::vector<Matrix> weights = {RandomMatrix(8, 8, 12)};
+  ps.BeginRound(1, {0});
+  auto w = ps.Uplink(0, MessageType::kWeights, weights);
+  auto labels = ps.Downlink(0, MessageType::kPseudoLabels, weights);
+  ps.EndRound();
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(labels.has_value());
+  // Weights went through fp16 (lossy)...
+  EXPECT_GT(MaxAbsDiff((*w)[0], weights[0]), 0.0f);
+  // ...pseudo-labels ride the lossless control codec regardless.
+  ExpectBitIdentical(weights, *labels);
+  const CommStats s = ps.stats();
+  EXPECT_LT(s.bytes_up, s.bytes_down);  // fp16 body is half the size.
+  EXPECT_EQ(s.payload_float_bytes_up, s.payload_float_bytes_down);
+}
+
+TEST(ChannelTest, DropoutDeactivatesClientForWholeRound) {
+  Options opt;
+  opt.link.dropout_prob = 1.0;
+  ParameterServer ps(opt, 3, 5);
+  ps.BeginRound(1, {0, 1, 2});
+  for (int32_t c = 0; c < 3; ++c) {
+    EXPECT_FALSE(ps.ClientActive(c));
+    EXPECT_FALSE(
+        ps.Downlink(c, MessageType::kWeights, {Matrix(2, 2)}).has_value());
+  }
+  ps.EndRound();
+  EXPECT_EQ(ps.stats().dropouts, 3);
+  EXPECT_EQ(ps.stats().messages_down, 0);
+  EXPECT_EQ(ps.stats().bytes_down, 0);
+}
+
+TEST(ChannelTest, BeginRoundReplaysIdenticalDropouts) {
+  Options opt;
+  opt.link.dropout_prob = 0.5;
+  ParameterServer ps(opt, 16, 5);
+  std::vector<bool> first;
+  ps.BeginRound(3, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  for (int32_t c = 0; c < 16; ++c) first.push_back(ps.ClientActive(c));
+  ps.EndRound();
+  ps.BeginRound(3, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  for (int32_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(ps.ClientActive(c), first[static_cast<size_t>(c)]) << c;
+  }
+  ps.EndRound();
+  EXPECT_GT(ps.stats().dropouts, 0);
+  EXPECT_LT(ps.stats().dropouts, 32);
+}
+
+TEST(ChannelTest, RetryPolicySurvivesTransientLossSkipDoesNot) {
+  // drop_prob below 1 with generous retries: delivery eventually succeeds
+  // for most messages; with kSkip any first-attempt loss kills the client.
+  Options retry_opt;
+  retry_opt.link.drop_prob = 0.5;
+  retry_opt.link.max_retries = 16;
+  ParameterServer retry_ps(retry_opt, 8, 11);
+  retry_ps.BeginRound(1, {0, 1, 2, 3, 4, 5, 6, 7});
+  int delivered = 0;
+  for (int32_t c = 0; c < 8; ++c) {
+    if (retry_ps.Downlink(c, MessageType::kWeights, {Matrix(2, 2)})) {
+      ++delivered;
+    }
+  }
+  retry_ps.EndRound();
+  EXPECT_EQ(delivered, 8);  // P(17 straight losses) ~ 1e-5 per client.
+  EXPECT_GT(retry_ps.stats().drops, 0);  // But attempts were burnt...
+  EXPECT_GT(retry_ps.stats().bytes_down,
+            8 * (kFrameHeaderBytes + 4 + 16 + 16));  // ...and billed.
+
+  Options skip_opt = retry_opt;
+  skip_opt.link.policy = FaultPolicy::kSkip;
+  skip_opt.link.drop_prob = 1.0;
+  ParameterServer skip_ps(skip_opt, 2, 11);
+  skip_ps.BeginRound(1, {0, 1});
+  EXPECT_FALSE(
+      skip_ps.Downlink(0, MessageType::kWeights, {Matrix(2, 2)}).has_value());
+  EXPECT_FALSE(skip_ps.ClientActive(0));  // Deactivated for the round.
+  skip_ps.EndRound();
+  EXPECT_EQ(skip_ps.stats().drops, 1);  // Exactly one attempt under kSkip.
+  EXPECT_EQ(skip_ps.stats().dropouts, 1);
+}
+
+TEST(ChannelTest, SimulatedClockTakesSlowestClientPerRound) {
+  Options opt;
+  opt.link.latency_s = 0.1;
+  ParameterServer ps(opt, 3, 5);
+  ps.BeginRound(1, {0, 1, 2});
+  // Client 0 sends two messages (0.2s serial); clients 1-2 send one.
+  ps.Downlink(0, MessageType::kWeights, {Matrix(2, 2)});
+  ps.Uplink(0, MessageType::kWeights, {Matrix(2, 2)});
+  ps.Downlink(1, MessageType::kWeights, {Matrix(2, 2)});
+  ps.Downlink(2, MessageType::kWeights, {Matrix(2, 2)});
+  ps.EndRound();
+  EXPECT_NEAR(ps.stats().sim_seconds, 0.2, 1e-9);
+  // A second round accumulates.
+  ps.BeginRound(2, {1});
+  ps.Downlink(1, MessageType::kWeights, {Matrix(2, 2)});
+  ps.EndRound();
+  EXPECT_NEAR(ps.stats().sim_seconds, 0.3, 1e-9);
+}
+
+TEST(ChannelTest, ConcurrentClientsProduceDeterministicStats) {
+  // Same exchange driven serially and through 4 threads must land on the
+  // exact same accounting (stats adds are commutative; fault decisions are
+  // stateless in event coordinates).
+  const std::vector<Matrix> weights = {RandomMatrix(16, 8, 21)};
+  Options opt;
+  opt.link.drop_prob = 0.2;
+  opt.link.latency_s = 0.01;
+  auto run = [&](int threads) {
+    ParameterServer ps(opt, 8, 31);
+    ThreadPool pool(threads);
+    std::vector<int32_t> everyone = {0, 1, 2, 3, 4, 5, 6, 7};
+    for (int round = 1; round <= 3; ++round) {
+      ps.BeginRound(round, everyone);
+      pool.ParallelFor(8, [&](size_t c) {
+        const auto client = static_cast<int32_t>(c);
+        if (!ps.ClientActive(client)) return;
+        if (!ps.Downlink(client, MessageType::kWeights, weights)) return;
+        ps.Uplink(client, MessageType::kWeights, weights);
+      });
+      ps.EndRound();
+    }
+    return ps.stats();
+  };
+  const CommStats serial = run(1);
+  const CommStats parallel = run(4);
+  EXPECT_EQ(serial.bytes_up, parallel.bytes_up);
+  EXPECT_EQ(serial.bytes_down, parallel.bytes_down);
+  EXPECT_EQ(serial.messages_up, parallel.messages_up);
+  EXPECT_EQ(serial.drops, parallel.drops);
+  EXPECT_EQ(serial.dropouts, parallel.dropouts);
+  EXPECT_EQ(serial.sim_seconds, parallel.sim_seconds);
+  EXPECT_GT(serial.drops, 0);  // The fault path was actually exercised.
+}
+
+}  // namespace
+}  // namespace adafgl::comm

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "comm/wire.h"
 #include "fed/federation.h"
 #include "fed/splits.h"
 #include "tensor/matrix_ops.h"
@@ -116,16 +117,34 @@ TEST(RunFedAvgTest, LearnsHomophilousTask) {
 }
 
 TEST(RunFedAvgTest, CommunicationAccounting) {
+  // Regression oracle against the pre-transport accounting: the serialized
+  // float volume reported by the comm layer must match the historical
+  // `rounds * clients * ParamBytes()` totals exactly under the lossless
+  // codec, and the measured wire bytes must exceed it by exactly the
+  // framing overhead of the exchanged messages.
   FederatedDataset fd = TinyFederation();
   FedConfig cfg = TinyConfig();
   FedRunResult r = RunFedAvg(fd, cfg);
-  // rounds * clients * param_bytes in each direction.
   FedClient probe(fd.clients[0], cfg, 5);
-  const int64_t expected = static_cast<int64_t>(cfg.rounds) *
-                           static_cast<int64_t>(fd.clients.size()) *
-                           probe.ParamBytes();
-  EXPECT_EQ(r.bytes_up, expected);
-  EXPECT_EQ(r.bytes_down, expected);
+  const auto messages = static_cast<int64_t>(cfg.rounds) *
+                        static_cast<int64_t>(fd.clients.size());
+  const int64_t expected = messages * probe.ParamBytes();
+  EXPECT_EQ(r.comm.stats.payload_float_bytes_up, expected);
+  EXPECT_EQ(r.comm.stats.payload_float_bytes_down, expected);
+  EXPECT_EQ(r.comm.stats.messages_up, messages);
+  EXPECT_EQ(r.comm.stats.messages_down, messages);
+  // Per-message overhead: frame header + codec envelope (count field plus
+  // one rows/cols pair per weight matrix).
+  const int64_t overhead =
+      comm::kFrameHeaderBytes + 4 +
+      16 * static_cast<int64_t>(probe.Weights().size());
+  EXPECT_EQ(r.bytes_up, expected + messages * overhead);
+  EXPECT_EQ(r.bytes_down, expected + messages * overhead);
+  EXPECT_EQ(r.bytes_up, r.comm.stats.bytes_up);
+  EXPECT_EQ(r.bytes_down, r.comm.stats.bytes_down);
+  EXPECT_EQ(r.comm.codec, "lossless");
+  EXPECT_EQ(r.comm.stats.drops, 0);
+  EXPECT_EQ(r.comm.stats.dropouts, 0);
 }
 
 TEST(RunFedAvgTest, PartialParticipationReducesTraffic) {
