@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/registry.h"
+#include "eval/bench_json.h"
 #include "eval/report.h"
 #include "eval/runner.h"
 
@@ -16,9 +17,14 @@ namespace bench {
 inline int BenchSeeds() { return EnvInt("ADAFGL_SEEDS", 1); }
 
 /// Runs one (dataset, split, algorithm) cell over the bench seed count.
+/// The aggregate also lands in bench.json when that sink is enabled
+/// (ADAFGL_BENCH_JSON / ADAFGL_METRICS=1).
 inline MeanStd RunCell(const ExperimentSpec& spec,
                        const std::string& algorithm) {
-  return Aggregate(RunExperiment(spec, algorithm, BenchSeeds()));
+  const MeanStd acc =
+      Aggregate(RunExperiment(spec, algorithm, BenchSeeds()));
+  BenchReport::Global().AddCell(algorithm, spec.dataset, spec.split, acc);
+  return acc;
 }
 
 /// Runs AdaFGL with explicit options (ablation/sensitivity cells).
@@ -34,11 +40,14 @@ inline MeanStd RunAdaFglCell(const ExperimentSpec& spec,
     if (ds.ok()) cfg.inductive = ds.value().inductive;
     accs.push_back(RunAdaFglAsFed(data, cfg, options).final_test_acc);
   }
-  return Aggregate(accs);
+  const MeanStd acc = Aggregate(accs);
+  BenchReport::Global().AddCell("AdaFGL", spec.dataset, spec.split, acc);
+  return acc;
 }
 
 /// Standard bench preamble: what the binary reproduces + knobs in effect.
 inline void PrintPreamble(const char* experiment, const char* description) {
+  BenchReport::Global().SetExperiment(experiment, description);
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment, description);
   std::printf("(synthetic stand-in datasets; shapes, not absolute numbers,\n");

@@ -50,6 +50,7 @@ int main() {
     FedConfig cfg = spec.fed;
     cfg.seed = 555;
     FedRunResult r = RunAlgorithm(method, data, cfg);
+    BenchReport::Global().AddRun(method, spec.dataset, spec.split, r);
     char msgs[32], acc[32];
     std::snprintf(msgs, sizeof(msgs), "%lld",
                   static_cast<long long>(r.comm.stats.messages_up +

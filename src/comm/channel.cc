@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/status.h"
 
 namespace adafgl::comm {
+
+namespace {
+
+/// Process-wide transport counters (ADAFGL_METRICS=1), shared by every
+/// ParameterServer. Lock-free increments; resolved once.
+struct CommCounters {
+  obs::Counter* bytes_up;
+  obs::Counter* bytes_down;
+  obs::Counter* frames;
+  obs::Counter* retransmits;
+  obs::Counter* drops;
+  obs::Counter* dropouts;
+
+  static const CommCounters& Get() {
+    static const CommCounters c = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return CommCounters{r.GetCounter("comm.bytes_up"),
+                          r.GetCounter("comm.bytes_down"),
+                          r.GetCounter("comm.frames"),
+                          r.GetCounter("comm.retransmits"),
+                          r.GetCounter("comm.drops"),
+                          r.GetCounter("comm.dropouts")};
+    }();
+    return c;
+  }
+};
+
+}  // namespace
 
 ParameterServer::ParameterServer(const Options& options, int32_t num_clients,
                                  uint64_t seed)
@@ -15,6 +44,11 @@ ParameterServer::ParameterServer(const Options& options, int32_t num_clients,
       link_(options.link, num_clients, seed),
       endpoints_(static_cast<size_t>(num_clients)) {
   ADAFGL_CHECK(num_clients > 0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  encode_ns_ =
+      registry.GetHistogram("comm.encode_ns." + codec_->name());
+  decode_ns_ =
+      registry.GetHistogram("comm.decode_ns." + codec_->name());
 }
 
 void ParameterServer::BeginRound(int round,
@@ -33,8 +67,8 @@ void ParameterServer::BeginRound(int round,
     if (!e.active) ++dropped;
   }
   if (dropped > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.dropouts += dropped;
+    stats_.dropouts.fetch_add(dropped, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) CommCounters::Get().dropouts->Inc(dropped);
   }
 }
 
@@ -48,8 +82,7 @@ void ParameterServer::EndRound() {
   for (const Endpoint& e : endpoints_) {
     slowest = std::max(slowest, e.round_seconds);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.sim_seconds += slowest;
+  stats_.AddSimSeconds(slowest);
 }
 
 std::optional<std::vector<Matrix>> ParameterServer::Downlink(
@@ -68,12 +101,18 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
   ADAFGL_CHECK(client >= 0 && client < num_clients());
   Endpoint& endpoint = endpoints_[static_cast<size_t>(client)];
   if (!endpoint.active) return std::nullopt;
+  obs::Span span(uplink ? "comm.uplink" : "comm.downlink");
+  const bool metrics = obs::MetricsEnabled();
 
   // Control messages must survive compression bit-exactly.
   const Codec& codec =
       type == MessageType::kPseudoLabels ? *control_codec_ : *codec_;
+  const int64_t encode_t0 = metrics ? obs::NowNs() : 0;
   const std::string wire =
       EncodeFrame(type, codec.id(), codec.Encode(tensors));
+  if (metrics) {
+    encode_ns_->Record(static_cast<double>(obs::NowNs() - encode_t0));
+  }
   const auto wire_bytes = static_cast<int64_t>(wire.size());
   const int64_t message_index = endpoint.message_index++;
 
@@ -94,44 +133,52 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
   }
   if (!delivered) endpoint.active = false;
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    // Every attempt occupies the wire, delivered or not.
+  // Lock-free accounting: every attempt occupies the wire, delivered or
+  // not. Relaxed order is enough — readers only consume finished rounds.
+  const int64_t burnt = wire_bytes * attempts_used;
+  (uplink ? stats_.bytes_up : stats_.bytes_down)
+      .fetch_add(burnt, std::memory_order_relaxed);
+  if (lost > 0) stats_.drops.fetch_add(lost, std::memory_order_relaxed);
+  if (delivered) {
+    const int64_t payload = PayloadFloatBytes(tensors);
     if (uplink) {
-      stats_.bytes_up += wire_bytes * attempts_used;
+      stats_.messages_up.fetch_add(1, std::memory_order_relaxed);
+      stats_.payload_float_bytes_up.fetch_add(payload,
+                                              std::memory_order_relaxed);
     } else {
-      stats_.bytes_down += wire_bytes * attempts_used;
+      stats_.messages_down.fetch_add(1, std::memory_order_relaxed);
+      stats_.payload_float_bytes_down.fetch_add(payload,
+                                                std::memory_order_relaxed);
     }
-    stats_.drops += lost;
-    if (delivered) {
-      if (uplink) {
-        ++stats_.messages_up;
-        stats_.payload_float_bytes_up += PayloadFloatBytes(tensors);
-      } else {
-        ++stats_.messages_down;
-        stats_.payload_float_bytes_down += PayloadFloatBytes(tensors);
-      }
-    } else {
-      ++stats_.dropouts;
-    }
+  } else {
+    stats_.dropouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (metrics) {
+    const CommCounters& c = CommCounters::Get();
+    (uplink ? c.bytes_up : c.bytes_down)->Inc(burnt);
+    c.frames->Inc(attempts_used);
+    if (attempts_used > 1) c.retransmits->Inc(attempts_used - 1);
+    if (lost > 0) c.drops->Inc(lost);
+    if (!delivered) c.dropouts->Inc();
   }
   if (!delivered) return std::nullopt;
 
   // Receiver side: parse the frame (checksum validation) and decode with
   // the codec named in the header, not the local configuration.
+  const int64_t decode_t0 = metrics ? obs::NowNs() : 0;
   Result<Frame> frame = DecodeFrame(wire);
   ADAFGL_CHECK(frame.ok());
   Result<std::vector<Matrix>> decoded =
       MakeCodec(frame.value().codec, codec_config_)
           ->Decode(frame.value().payload);
   ADAFGL_CHECK(decoded.ok());
+  if (metrics) {
+    decode_ns_->Record(static_cast<double>(obs::NowNs() - decode_t0));
+  }
   return std::move(decoded).value();
 }
 
-CommStats ParameterServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
-}
+CommStats ParameterServer::stats() const { return stats_.Snapshot(); }
 
 CommReport ParameterServer::Report() const {
   CommReport report;

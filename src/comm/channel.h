@@ -2,7 +2,6 @@
 #define ADAFGL_COMM_CHANNEL_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -27,7 +26,9 @@ namespace adafgl::comm {
 /// brackets; `Downlink`/`Uplink` may run concurrently from worker threads
 /// as long as no two threads drive the *same* client. Fault and timing
 /// decisions are pure functions of (seed, round, client, message index), so
-/// simulations replay identically under any thread schedule.
+/// simulations replay identically under any thread schedule. Accounting is
+/// lock-free (AtomicCommStats + obs counters) — transfers never serialize
+/// on a stats mutex.
 class ParameterServer {
  public:
   ParameterServer(const Options& options, int32_t num_clients, uint64_t seed);
@@ -87,8 +88,11 @@ class ParameterServer {
   int round_ = 0;
   std::vector<Endpoint> endpoints_;
 
-  mutable std::mutex stats_mu_;
-  CommStats stats_;
+  AtomicCommStats stats_;
+  /// Per-codec encode/decode latency (ns), recorded under ADAFGL_METRICS=1;
+  /// resolved once per server so transfers never look up the registry.
+  obs::Histogram* encode_ns_ = nullptr;
+  obs::Histogram* decode_ns_ = nullptr;
 };
 
 }  // namespace adafgl::comm

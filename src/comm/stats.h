@@ -1,8 +1,11 @@
 #ifndef ADAFGL_COMM_STATS_H_
 #define ADAFGL_COMM_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace adafgl::comm {
 
@@ -30,6 +33,9 @@ struct CommStats {
   /// across clients, serially per client).
   double sim_seconds = 0.0;
 
+  /// Single-threaded aggregation of finished snapshots (e.g. folding a
+  /// mend phase into a run report). Concurrent accumulation happens in
+  /// AtomicCommStats; this plain struct is the read-only façade.
   void Add(const CommStats& o) {
     bytes_up += o.bytes_up;
     bytes_down += o.bytes_down;
@@ -40,6 +46,44 @@ struct CommStats {
     drops += o.drops;
     dropouts += o.dropouts;
     sim_seconds += o.sim_seconds;
+  }
+};
+
+/// \brief Lock-free accumulation cell behind CommStats.
+///
+/// The ParameterServer's worker threads (ADAFGL_THREADS>1) land here with
+/// relaxed atomic adds — no mutex on the transfer hot path. `Snapshot()`
+/// materialises the plain CommStats façade the rest of the system reports.
+/// Field meanings are exactly those of CommStats.
+struct AtomicCommStats {
+  std::atomic<int64_t> bytes_up{0};
+  std::atomic<int64_t> bytes_down{0};
+  std::atomic<int64_t> payload_float_bytes_up{0};
+  std::atomic<int64_t> payload_float_bytes_down{0};
+  std::atomic<int64_t> messages_up{0};
+  std::atomic<int64_t> messages_down{0};
+  std::atomic<int64_t> drops{0};
+  std::atomic<int64_t> dropouts{0};
+  std::atomic<double> sim_seconds{0.0};
+
+  void AddSimSeconds(double s) {
+    obs::internal::AtomicAddDouble(sim_seconds, s);
+  }
+
+  CommStats Snapshot() const {
+    CommStats s;
+    s.bytes_up = bytes_up.load(std::memory_order_relaxed);
+    s.bytes_down = bytes_down.load(std::memory_order_relaxed);
+    s.payload_float_bytes_up =
+        payload_float_bytes_up.load(std::memory_order_relaxed);
+    s.payload_float_bytes_down =
+        payload_float_bytes_down.load(std::memory_order_relaxed);
+    s.messages_up = messages_up.load(std::memory_order_relaxed);
+    s.messages_down = messages_down.load(std::memory_order_relaxed);
+    s.drops = drops.load(std::memory_order_relaxed);
+    s.dropouts = dropouts.load(std::memory_order_relaxed);
+    s.sim_seconds = sim_seconds.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

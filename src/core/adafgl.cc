@@ -7,6 +7,9 @@
 #include "core/propagation_matrix.h"
 #include "nn/layers.h"
 #include "nn/models.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -371,22 +374,51 @@ AdaFglResult RunAdaFgl(const FederatedDataset& data, const FedConfig& config,
   AdaFglResult result;
 
   // ------------------------- Step 1: federated knowledge extractor.
-  FedConfig step1 = config;
-  step1.post_local_epochs = 0;  // Personalization happens in Step 2.
-  result.step1 = RunFedAvg(data, step1);
+  {
+    obs::Span step1_span("adafgl.step1");
+    FedConfig step1 = config;
+    step1.post_local_epochs = 0;  // Personalization happens in Step 2.
+    result.step1 = RunFedAvg(data, step1);
+  }
   result.comm = result.step1.comm;
   result.bytes_up = result.step1.bytes_up;
   result.bytes_down = result.step1.bytes_down;
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const extractor_rounds =
+        obs::MetricsRegistry::Global().GetCounter(
+            "adafgl.extractor_rounds");
+    extractor_rounds->Inc(config.rounds);
+  }
 
   // ------------------------- Step 2: adaptive personalized propagation.
+  obs::Span step2_span("adafgl.step2");
   std::vector<std::unique_ptr<PersonalizedClient>> clients;
   clients.reserve(data.clients.size());
   Rng seeder(config.seed ^ 0xadaf9fULL);
-  for (size_t c = 0; c < data.clients.size(); ++c) {
-    clients.push_back(std::make_unique<PersonalizedClient>(
-        data.clients[c], config, options, result.step1.global_weights,
-        seeder.NextU64()));
-    result.client_hcs.push_back(clients.back()->hcs());
+  {
+    obs::Span setup_span("adafgl.step2.setup");
+    for (size_t c = 0; c < data.clients.size(); ++c) {
+      clients.push_back(std::make_unique<PersonalizedClient>(
+          data.clients[c], config, options, result.step1.global_weights,
+          seeder.NextU64()));
+      result.client_hcs.push_back(clients.back()->hcs());
+    }
+  }
+  // Per-client Homophily Confidence Score distribution (Fig. 7) — the
+  // signal Step 2's adaptive mechanism keys off.
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram* const hcs_hist =
+        obs::MetricsRegistry::Global().GetHistogram("adafgl.hcs",
+                                                    obs::UnitIntervalBounds());
+    for (double h : result.client_hcs) hcs_hist->Record(h);
+  }
+  if (obs::EventsEnabled()) {
+    for (size_t c = 0; c < result.client_hcs.size(); ++c) {
+      obs::Event("adafgl.hcs")
+          .I64("client", static_cast<int64_t>(c))
+          .F64("hcs", result.client_hcs[c])
+          .Emit();
+    }
   }
 
   result.step2_epoch_acc.reserve(
@@ -402,8 +434,17 @@ AdaFglResult RunAdaFgl(const FederatedDataset& data, const FedConfig& config,
         weighted += client->EvalTest() * static_cast<double>(n_test);
         total += n_test;
       }
-      result.step2_epoch_acc.push_back(
-          total == 0 ? 0.0 : weighted / static_cast<double>(total));
+      const double acc =
+          total == 0 ? 0.0 : weighted / static_cast<double>(total);
+      result.step2_epoch_acc.push_back(acc);
+      if (obs::EventsEnabled()) {
+        obs::Event("adafgl.step2_epoch")
+            .I64("epoch", epoch + 1)
+            .F64("test_acc", acc)
+            .Emit();
+      }
+      obs::Logf(obs::LogLevel::kInfo, "AdaFGL step2 epoch %d: acc=%.4f",
+                epoch + 1, acc);
     }
   }
 

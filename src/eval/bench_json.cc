@@ -1,0 +1,211 @@
+#include "eval/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/obs.h"
+
+namespace adafgl {
+
+namespace {
+
+std::mutex& Mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+BenchReport::BenchReport() { ReadEnv(); }
+
+void BenchReport::ReadEnv() {
+  const char* path = std::getenv("ADAFGL_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    enabled_ = true;
+    path_ = path;
+    return;
+  }
+  if (obs::MetricsEnabled()) {
+    enabled_ = true;
+    path_ = "bench.json";
+    return;
+  }
+  enabled_ = false;
+  path_.clear();
+}
+
+BenchReport& BenchReport::Global() {
+  static BenchReport* instance = new BenchReport;
+  return *instance;
+}
+
+void BenchReport::SetExperiment(const std::string& experiment,
+                                const std::string& description) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(Mu());
+  experiment_ = experiment;
+  description_ = description;
+  if (!atexit_registered_) {
+    atexit_registered_ = true;
+    std::atexit([] { BenchReport::Global().Write(); });
+  }
+}
+
+void BenchReport::AddCell(const std::string& method,
+                          const std::string& dataset,
+                          const std::string& split, const MeanStd& acc) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(Mu());
+  cells_.push_back({method, dataset, split, acc.mean, acc.std});
+}
+
+void BenchReport::AddRun(const std::string& method,
+                         const std::string& dataset, const std::string& split,
+                         const FedRunResult& result) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(Mu());
+  Run run;
+  run.method = method;
+  run.dataset = dataset;
+  run.split = split;
+  run.final_acc = result.final_test_acc;
+  run.codec = result.comm.codec;
+  run.threads = result.comm.num_threads;
+  run.stats = result.comm.stats;
+  run.rounds = result.history;
+  runs_.push_back(std::move(run));
+}
+
+std::string BenchReport::ToJson() {
+  std::lock_guard<std::mutex> lock(Mu());
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("experiment");
+  w.String(experiment_);
+  w.Key("description");
+  w.String(description_);
+  w.Key("knobs");
+  w.BeginObject();
+  w.Key("seeds");
+  w.Int(EnvInt("ADAFGL_SEEDS", 1));
+  w.Key("rounds");
+  w.Int(EnvInt("ADAFGL_ROUNDS", 15));
+  w.Key("epochs");
+  w.Int(EnvInt("ADAFGL_EPOCHS", 3));
+  w.Key("post_epochs");
+  w.Int(EnvInt("ADAFGL_POST_EPOCHS", 10));
+  w.Key("codec");
+  w.String(EnvStr("ADAFGL_CODEC", "lossless"));
+  w.Key("threads");
+  w.Int(EnvInt("ADAFGL_THREADS", 1));
+  w.EndObject();
+  w.Key("cells");
+  w.BeginArray();
+  for (const Cell& c : cells_) {
+    w.BeginObject();
+    w.Key("method");
+    w.String(c.method);
+    w.Key("dataset");
+    w.String(c.dataset);
+    w.Key("split");
+    w.String(c.split);
+    w.Key("acc_mean");
+    w.Double(c.acc_mean);
+    w.Key("acc_std");
+    w.Double(c.acc_std);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("runs");
+  w.BeginArray();
+  for (const Run& r : runs_) {
+    w.BeginObject();
+    w.Key("method");
+    w.String(r.method);
+    w.Key("dataset");
+    w.String(r.dataset);
+    w.Key("split");
+    w.String(r.split);
+    w.Key("final_acc");
+    w.Double(r.final_acc);
+    w.Key("codec");
+    w.String(r.codec);
+    w.Key("threads");
+    w.Int(r.threads);
+    w.Key("bytes_up");
+    w.Int(r.stats.bytes_up);
+    w.Key("bytes_down");
+    w.Int(r.stats.bytes_down);
+    w.Key("messages_up");
+    w.Int(r.stats.messages_up);
+    w.Key("messages_down");
+    w.Int(r.stats.messages_down);
+    w.Key("drops");
+    w.Int(r.stats.drops);
+    w.Key("dropouts");
+    w.Int(r.stats.dropouts);
+    w.Key("sim_seconds");
+    w.Double(r.stats.sim_seconds);
+    w.Key("rounds");
+    w.BeginArray();
+    for (const RoundRecord& rec : r.rounds) {
+      w.BeginObject();
+      w.Key("round");
+      w.Int(rec.round);
+      w.Key("train_loss");
+      w.Double(rec.train_loss);
+      w.Key("test_acc");
+      w.Double(rec.test_acc);
+      w.Key("participants");
+      w.Int(rec.participants);
+      w.Key("bytes_up");
+      w.Int(rec.bytes_up);
+      w.Key("bytes_down");
+      w.Int(rec.bytes_down);
+      w.Key("sim_seconds");
+      w.Double(rec.sim_seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+void BenchReport::Write() {
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    if (!enabled_) return;
+    if (experiment_.empty() && cells_.empty() && runs_.empty()) return;
+  }
+  const std::string doc = ToJson();
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    obs::Logf(obs::LogLevel::kError, "bench.json: cannot open %s",
+              path_.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "[adafgl] bench summary written to %s\n",
+               path_.c_str());
+}
+
+void BenchReport::ResetForTest() {
+  std::lock_guard<std::mutex> lock(Mu());
+  experiment_.clear();
+  description_.clear();
+  cells_.clear();
+  runs_.clear();
+  ReadEnv();
+}
+
+}  // namespace adafgl

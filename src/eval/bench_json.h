@@ -1,0 +1,105 @@
+#ifndef ADAFGL_EVAL_BENCH_JSON_H_
+#define ADAFGL_EVAL_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "fed/federation.h"
+
+namespace adafgl {
+
+/// \brief Machine-readable run summary every bench binary emits.
+///
+/// Activated by ADAFGL_BENCH_JSON=<path>, or by ADAFGL_METRICS=1 (which
+/// defaults the path to "bench.json" in the working directory). Disabled
+/// (the default) it records nothing and writes nothing, so bench stdout
+/// stays byte-identical.
+///
+/// The document has a fixed schema (tools/bench_to_json.sh diffs the key
+/// set against tools/bench_schema_example.json):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "experiment": "Table VIII",
+///   "description": "...",
+///   "knobs": {"seeds", "rounds", "epochs", "post_epochs",
+///             "codec", "threads"},
+///   "cells": [{"method", "dataset", "split", "acc_mean", "acc_std"}],
+///   "runs":  [{"method", "dataset", "split", "final_acc", "codec",
+///              "threads", "bytes_up", "bytes_down", "messages_up",
+///              "messages_down", "drops", "dropouts", "sim_seconds",
+///              "rounds": [{"round", "train_loss", "test_acc",
+///                          "participants", "bytes_up", "bytes_down",
+///                          "sim_seconds"}]}]
+/// }
+/// ```
+///
+/// `cells` are the aggregated table entries (mean ± std over seeds);
+/// `runs` carry the full per-round trajectory of individual runs for the
+/// benches that record them (table8's measured-communication section).
+/// All methods are thread-safe; recording is a no-op when disabled.
+class BenchReport {
+ public:
+  /// Process-wide instance (leaked; safe during exit).
+  static BenchReport& Global();
+
+  /// True when a bench.json destination is configured.
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  /// Names the experiment (PrintPreamble calls this); the first call also
+  /// registers the atexit writer.
+  void SetExperiment(const std::string& experiment,
+                     const std::string& description);
+
+  /// Records one aggregated table cell.
+  void AddCell(const std::string& method, const std::string& dataset,
+               const std::string& split, const MeanStd& acc);
+
+  /// Records one full run with its per-round trajectory and transport
+  /// accounting.
+  void AddRun(const std::string& method, const std::string& dataset,
+              const std::string& split, const FedRunResult& result);
+
+  /// Serializes the document and writes it to path(); no-op when disabled
+  /// or when nothing was recorded. Idempotent (later calls rewrite).
+  void Write();
+
+  /// Renders the current document (exposed for tests).
+  std::string ToJson();
+
+  /// Drops all recorded state and re-reads the environment (tests only).
+  void ResetForTest();
+
+ private:
+  BenchReport();
+
+  struct Cell {
+    std::string method, dataset, split;
+    double acc_mean = 0.0, acc_std = 0.0;
+  };
+  struct Run {
+    std::string method, dataset, split;
+    double final_acc = 0.0;
+    std::string codec;
+    int threads = 1;
+    comm::CommStats stats;
+    std::vector<RoundRecord> rounds;
+  };
+
+  void ReadEnv();
+
+  bool enabled_ = false;
+  std::string path_;
+  std::string experiment_;
+  std::string description_;
+  std::vector<Cell> cells_;
+  std::vector<Run> runs_;
+  bool atexit_registered_ = false;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_EVAL_BENCH_JSON_H_

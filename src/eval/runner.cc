@@ -7,6 +7,8 @@
 #include "fed/fedsage.h"
 #include "fed/gcfl.h"
 #include "nn/models.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "tensor/status.h"
 
 namespace adafgl {
@@ -30,6 +32,7 @@ FederatedDataset PrepareFederatedDataset(const ExperimentSpec& spec,
 FedRunResult RunAlgorithm(const std::string& algorithm,
                           const FederatedDataset& data,
                           const FedConfig& config) {
+  obs::Span span(std::string("run.") + algorithm);
   if (algorithm == "AdaFGL") return RunAdaFglAsFed(data, config);
   if (algorithm == "FedGL") return RunFedGL(data, config);
   if (algorithm == "GCFL+") return RunGcflPlus(data, config);
@@ -58,7 +61,20 @@ double RunExperimentOnce(const ExperimentSpec& spec,
   Result<DatasetSpec> ds = FindDataset(spec.dataset);
   ADAFGL_CHECK(ds.ok());
   cfg.inductive = ds.value().inductive;
-  return RunAlgorithm(algorithm, data, cfg).final_test_acc;
+  const double acc = RunAlgorithm(algorithm, data, cfg).final_test_acc;
+  if (obs::EventsEnabled()) {
+    obs::Event("eval.run")
+        .Str("algorithm", algorithm)
+        .Str("dataset", spec.dataset)
+        .Str("split", spec.split)
+        .I64("seed", static_cast<int64_t>(seed))
+        .F64("final_acc", acc)
+        .Emit();
+  }
+  obs::Logf(obs::LogLevel::kInfo, "%s on %s (%s, seed=%llu): acc=%.4f",
+            algorithm.c_str(), spec.dataset.c_str(), spec.split.c_str(),
+            static_cast<unsigned long long>(seed), acc);
+  return acc;
 }
 
 std::vector<double> RunExperiment(const ExperimentSpec& spec,

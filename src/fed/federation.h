@@ -40,11 +40,20 @@ struct FedConfig {
   comm::Options comm;
 };
 
-/// One per-round measurement of the aggregated global model.
+/// One per-round measurement of the aggregated global model, plus the
+/// cumulative transport accounting at that point — the per-round
+/// trajectory bench.json and the obs event log report.
 struct RoundRecord {
   int round = 0;
   double test_acc = 0.0;
   double train_loss = 0.0;
+  /// Clients that completed the round (downlink + training + uplink).
+  int participants = 0;
+  /// Cumulative wire bytes / simulated wall-clock up to and including this
+  /// round (monotone across the history).
+  int64_t bytes_up = 0;
+  int64_t bytes_down = 0;
+  double sim_seconds = 0.0;
 };
 
 /// Outcome of a federated run.

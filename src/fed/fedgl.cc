@@ -122,11 +122,8 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
 
     if (round % config.eval_every == 0 || round == config.rounds) {
       for (auto& c : clients) c->SetGlobalWeights(global);
-      RoundRecord rec;
-      rec.round = round;
-      rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = MeanParticipantLoss(outcomes);
-      result.history.push_back(rec);
+      result.history.push_back(MakeRoundRecord(
+          "FedGL", round, ps, outcomes, WeightedTestAccuracy(clients)));
     }
   }
 

@@ -136,11 +136,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
         clients[static_cast<size_t>(c)]->SetGlobalWeights(
             personalized[static_cast<size_t>(c)]);
       }
-      RoundRecord rec;
-      rec.round = round;
-      rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = MeanParticipantLoss(outcomes);
-      result.history.push_back(rec);
+      result.history.push_back(MakeRoundRecord(
+          "FED-PUB", round, ps, outcomes, WeightedTestAccuracy(clients)));
     }
   }
 

@@ -7,6 +7,7 @@
 #include "comm/channel.h"
 #include "comm/thread_pool.h"
 #include "nn/layers.h"
+#include "obs/trace.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -190,6 +191,7 @@ FedRunResult RunFedSagePlus(const FederatedDataset& data,
   }
   std::vector<int32_t> everyone(static_cast<size_t>(n_clients));
   std::iota(everyone.begin(), everyone.end(), 0);
+  auto mend_span = std::make_unique<obs::Span>("fedsage.mend");
   mend_ps.BeginRound(0, everyone);
   pool.ParallelFor(mended.clients.size(), [&](size_t c) {
     const auto client = static_cast<int32_t>(c);
@@ -206,6 +208,7 @@ FedRunResult RunFedSagePlus(const FederatedDataset& data,
     }
   });
   mend_ps.EndRound();
+  mend_span.reset();
 
   FedRunResult result = RunFedAvg(mended, config);
   result.comm.stats.Add(mend_ps.stats());

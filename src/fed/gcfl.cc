@@ -181,11 +181,8 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
             cluster_weights[static_cast<size_t>(
                 cluster[static_cast<size_t>(c)])]);
       }
-      RoundRecord rec;
-      rec.round = round;
-      rec.test_acc = WeightedTestAccuracy(clients);
-      rec.train_loss = MeanParticipantLoss(outcomes);
-      result.history.push_back(rec);
+      result.history.push_back(MakeRoundRecord(
+          "GCFL+", round, ps, outcomes, WeightedTestAccuracy(clients)));
     }
   }
 

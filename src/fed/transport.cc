@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace adafgl {
 
 std::vector<RoundClientResult> RunTrainingRound(
@@ -11,12 +15,14 @@ std::vector<RoundClientResult> RunTrainingRound(
     const std::function<const std::vector<Matrix>&(int32_t)>& weights_for,
     const TrainRoundSpec& spec) {
   std::vector<RoundClientResult> results(order.size());
+  obs::Span round_span("fed.round");
   ps.BeginRound(round, order);
   pool.ParallelFor(order.size(), [&](size_t i) {
     const int32_t c = order[i];
     RoundClientResult& out = results[i];
     out.client = c;
     if (!ps.ClientActive(c)) return;  // Dropped out this round.
+    obs::Span client_span("fed.client_round");
     FedClient& client = *clients[static_cast<size_t>(c)];
 
     std::optional<std::vector<Matrix>> broadcast =
@@ -53,6 +59,48 @@ double MeanParticipantLoss(const std::vector<RoundClientResult>& results) {
     ++n;
   }
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+RoundRecord MakeRoundRecord(const char* algorithm, int round,
+                            const comm::ParameterServer& ps,
+                            const std::vector<RoundClientResult>& outcomes,
+                            double test_acc) {
+  RoundRecord rec;
+  rec.round = round;
+  rec.test_acc = test_acc;
+  rec.train_loss = MeanParticipantLoss(outcomes);
+  for (const RoundClientResult& r : outcomes) {
+    if (r.participated) ++rec.participants;
+  }
+  const comm::CommStats snap = ps.stats();
+  rec.bytes_up = snap.bytes_up;
+  rec.bytes_down = snap.bytes_down;
+  rec.sim_seconds = snap.sim_seconds;
+
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const rounds =
+        obs::MetricsRegistry::Global().GetCounter("fed.rounds");
+    rounds->Inc();
+  }
+  if (obs::EventsEnabled()) {
+    obs::Event("fed.round")
+        .Str("algorithm", algorithm)
+        .I64("round", rec.round)
+        .F64("train_loss", rec.train_loss)
+        .F64("test_acc", rec.test_acc)
+        .I64("participants", rec.participants)
+        .I64("bytes_up", rec.bytes_up)
+        .I64("bytes_down", rec.bytes_down)
+        .F64("sim_seconds", rec.sim_seconds)
+        .Emit();
+  }
+  obs::Logf(obs::LogLevel::kInfo,
+            "%s round %d: loss=%.4f acc=%.4f participants=%d up=%lld "
+            "down=%lld sim=%.3fs",
+            algorithm, rec.round, rec.train_loss, rec.test_acc,
+            rec.participants, static_cast<long long>(rec.bytes_up),
+            static_cast<long long>(rec.bytes_down), rec.sim_seconds);
+  return rec;
 }
 
 }  // namespace adafgl

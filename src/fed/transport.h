@@ -53,6 +53,16 @@ std::vector<RoundClientResult> RunTrainingRound(
 /// Sum of participant losses / number of participants (0 when none).
 double MeanParticipantLoss(const std::vector<RoundClientResult>& results);
 
+/// Builds the per-round history record every federated round loop appends:
+/// loss/accuracy from the outcomes, participant count, and the server's
+/// cumulative transport accounting. Also emits the structured "fed.round"
+/// telemetry event (obs JSONL sink) and an info-level progress line —
+/// the per-round observability contract of the training stack.
+RoundRecord MakeRoundRecord(const char* algorithm, int round,
+                            const comm::ParameterServer& ps,
+                            const std::vector<RoundClientResult>& outcomes,
+                            double test_acc);
+
 }  // namespace adafgl
 
 #endif  // ADAFGL_FED_TRANSPORT_H_

@@ -1,0 +1,64 @@
+#ifndef ADAFGL_OBS_JSON_H_
+#define ADAFGL_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adafgl::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters); returns
+/// the body without surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+/// Shortest-round-trip double literal that is always valid JSON (never
+/// "nan"/"inf" — those map to null).
+std::string JsonDouble(double v);
+
+/// \brief Minimal streaming JSON writer — enough structure for the trace
+/// exporter, the JSONL events, and bench.json, without a dependency.
+///
+/// The writer tracks whether a separating comma is due; the caller is
+/// responsible for well-formed nesting (tests validate the output with a
+/// real parser).
+class JsonWriter {
+ public:
+  void BeginObject() { Sep(); buf_ += '{'; first_ = true; }
+  void EndObject() { buf_ += '}'; first_ = false; }
+  void BeginArray() { Sep(); buf_ += '['; first_ = true; }
+  void EndArray() { buf_ += ']'; first_ = false; }
+
+  /// Emits "key": and leaves the writer expecting a value.
+  void Key(const std::string& k) {
+    Sep();
+    buf_ += '"';
+    buf_ += JsonEscape(k);
+    buf_ += "\":";
+    first_ = true;  // The upcoming value needs no comma.
+  }
+
+  void String(const std::string& v) {
+    Sep();
+    buf_ += '"';
+    buf_ += JsonEscape(v);
+    buf_ += '"';
+  }
+  void Int(int64_t v) { Sep(); buf_ += std::to_string(v); }
+  void Double(double v) { Sep(); buf_ += JsonDouble(v); }
+  void Bool(bool v) { Sep(); buf_ += v ? "true" : "false"; }
+  void Raw(const std::string& fragment) { Sep(); buf_ += fragment; }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Sep() {
+    if (!first_) buf_ += ',';
+    first_ = false;
+  }
+  std::string buf_;
+  bool first_ = true;
+};
+
+}  // namespace adafgl::obs
+
+#endif  // ADAFGL_OBS_JSON_H_

@@ -1,0 +1,124 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace adafgl::obs {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    default:
+      return "off";
+  }
+}
+
+/// JSONL sink: one append-mode FILE*, lazily (re)opened to follow the
+/// configured path. Events are rare (per round / per client), so a mutex
+/// is fine here — only counters and spans have lock-free hot paths.
+struct JsonlSink {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::string open_path;
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::string path = JsonlPath();
+    if (path != open_path) {
+      if (file != nullptr) std::fclose(file);
+      file = path.empty() ? nullptr : std::fopen(path.c_str(), "a");
+      open_path = file == nullptr ? std::string() : path;
+    }
+    if (file == nullptr) return;
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+  }
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (file != nullptr) std::fflush(file);
+  }
+};
+
+JsonlSink& Sink() {
+  static JsonlSink* sink = new JsonlSink;  // Leaked: see obs.cc.
+  return *sink;
+}
+
+}  // namespace
+
+namespace internal {
+
+void FlushJsonlSink() { Sink().Flush(); }
+
+}  // namespace internal
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  char msg[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[adafgl][%s] %s\n", LevelName(level), msg);
+}
+
+bool EventsEnabled() {
+  return !JsonlPath().empty() || LogEnabled(LogLevel::kDebug);
+}
+
+Event::Event(std::string name) : name_(std::move(name)) {}
+
+Event& Event::I64(const char* key, int64_t v) {
+  fields_.push_back('"' + JsonEscape(key) + "\":" + std::to_string(v));
+  return *this;
+}
+
+Event& Event::F64(const char* key, double v) {
+  fields_.push_back('"' + JsonEscape(key) + "\":" + JsonDouble(v));
+  return *this;
+}
+
+Event& Event::Str(const char* key, const std::string& v) {
+  fields_.push_back('"' + JsonEscape(key) + "\":\"" + JsonEscape(v) + '"');
+  return *this;
+}
+
+Event& Event::Bool(const char* key, bool v) {
+  fields_.push_back('"' + JsonEscape(key) + (v ? "\":true" : "\":false"));
+  return *this;
+}
+
+std::string Event::Render() const {
+  std::string line = "{\"event\":\"" + JsonEscape(name_) +
+                     "\",\"ts_ns\":" + std::to_string(NowNs());
+  for (const std::string& f : fields_) {
+    line += ',';
+    line += f;
+  }
+  line += '}';
+  return line;
+}
+
+void Event::Emit() {
+  if (!EventsEnabled()) return;
+  const std::string line = Render();
+  if (!JsonlPath().empty()) Sink().WriteLine(line);
+  if (LogEnabled(LogLevel::kDebug)) {
+    std::fprintf(stderr, "[adafgl][debug] %s\n", line.c_str());
+  }
+}
+
+}  // namespace adafgl::obs

@@ -1,0 +1,58 @@
+#ifndef ADAFGL_OBS_LOG_H_
+#define ADAFGL_OBS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace adafgl::obs {
+
+namespace internal {
+/// Flushes (and keeps open) the JSONL sink file; called from obs::Flush.
+void FlushJsonlSink();
+}  // namespace internal
+
+/// printf-style stderr line, gated on ADAFGL_LOG_LEVEL:
+///   [adafgl][info] round 3/15 loss=0.4210 acc=0.8120
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// True when Event::Emit would reach any sink — lets callers skip building
+/// events entirely on hot paths.
+bool EventsEnabled();
+
+/// \brief One structured telemetry record, emitted as a JSON line.
+///
+///   obs::Event("fed.round")
+///       .I64("round", r).F64("train_loss", l).Emit();
+///
+/// Sinks, in order: the JSONL log (ADAFGL_LOG_JSONL / SetJsonlPath) and,
+/// at debug log level, stderr. Every line carries "event" and "ts_ns"
+/// before the caller's fields; field order is insertion order.
+class Event {
+ public:
+  explicit Event(std::string name);
+
+  Event& I64(const char* key, int64_t v);
+  Event& F64(const char* key, double v);
+  Event& Str(const char* key, const std::string& v);
+  Event& Bool(const char* key, bool v);
+
+  /// Renders the JSON object line (exposed for tests).
+  std::string Render() const;
+
+  /// Writes the record to the enabled sinks; no-op when none are on.
+  void Emit();
+
+ private:
+  std::string name_;
+  /// Pre-rendered "\"key\":value" pairs.
+  std::vector<std::string> fields_;
+};
+
+}  // namespace adafgl::obs
+
+#endif  // ADAFGL_OBS_LOG_H_

@@ -1,0 +1,160 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace adafgl::obs {
+
+namespace {
+
+/// Paths and the one-shot atexit hook, guarded by a mutex (cold path only).
+struct PathState {
+  std::mutex mu;
+  std::string trace_path;
+  std::string jsonl_path;
+  bool atexit_registered = false;
+};
+
+PathState& Paths() {
+  static PathState* s = new PathState;  // Leaked: usable during exit.
+  return *s;
+}
+
+int ParseLogLevel(const char* raw) {
+  if (raw == nullptr || raw[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(raw, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  if (std::strcmp(raw, "error") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  if (std::strcmp(raw, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(raw, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(raw, "debug") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+void RegisterAtexitFlush() {
+  PathState& p = Paths();
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (!p.atexit_registered) {
+    p.atexit_registered = true;
+    std::atexit([] { Flush(); });
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+RuntimeState& State() {
+  // Leaked so flag reads stay valid in atexit handlers and late TLS dtors.
+  static RuntimeState* state = [] {
+    auto* s = new RuntimeState;
+    const char* metrics = std::getenv("ADAFGL_METRICS");
+    s->metrics.store(metrics != nullptr && metrics[0] == '1',
+                     std::memory_order_relaxed);
+    const char* trace = std::getenv("ADAFGL_TRACE");
+    const bool trace_on = trace != nullptr && trace[0] != '\0';
+    s->trace.store(trace_on, std::memory_order_relaxed);
+    s->log_level.store(ParseLogLevel(std::getenv("ADAFGL_LOG_LEVEL")),
+                       std::memory_order_relaxed);
+    if (trace_on) {
+      std::lock_guard<std::mutex> lock(Paths().mu);
+      Paths().trace_path = trace;
+    }
+    const char* jsonl = std::getenv("ADAFGL_LOG_JSONL");
+    const bool jsonl_on = jsonl != nullptr && jsonl[0] != '\0';
+    if (jsonl_on) {
+      std::lock_guard<std::mutex> lock(Paths().mu);
+      Paths().jsonl_path = jsonl;
+    }
+    // Knobs turned on by the environment need the exit flush too (the
+    // runtime setters register it themselves). No Paths() lock is held
+    // here.
+    if (s->metrics.load(std::memory_order_relaxed) || trace_on || jsonl_on) {
+      RegisterAtexitFlush();
+    }
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool on) {
+  internal::State().metrics.store(on, std::memory_order_relaxed);
+  if (on) RegisterAtexitFlush();
+}
+
+void SetTraceEnabled(bool on) {
+  internal::State().trace.store(on, std::memory_order_relaxed);
+  if (on) RegisterAtexitFlush();
+}
+
+void SetLogLevel(LogLevel level) {
+  internal::State().log_level.store(static_cast<int>(level),
+                                    std::memory_order_relaxed);
+}
+
+void SetTracePath(std::string path) {
+  internal::State();  // Environment first, then the override.
+  std::lock_guard<std::mutex> lock(Paths().mu);
+  Paths().trace_path = std::move(path);
+}
+
+std::string TracePath() {
+  internal::State();
+  std::lock_guard<std::mutex> lock(Paths().mu);
+  return Paths().trace_path;
+}
+
+std::string JsonlPath() {
+  internal::State();
+  std::lock_guard<std::mutex> lock(Paths().mu);
+  return Paths().jsonl_path;
+}
+
+void SetJsonlPath(std::string path) {
+  internal::State();
+  const bool enabled = !path.empty();
+  {
+    std::lock_guard<std::mutex> lock(Paths().mu);
+    Paths().jsonl_path = std::move(path);
+  }
+  if (enabled) RegisterAtexitFlush();
+}
+
+int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+void Flush() {
+  const std::string trace_path = TracePath();
+  if (TraceEnabled() && !trace_path.empty()) {
+    WriteChromeTrace(trace_path);
+    const std::string summary = PhaseSummaryText();
+    if (!summary.empty()) {
+      std::fprintf(stderr, "[adafgl] phase summary (span count total_ms):\n%s",
+                   summary.c_str());
+    }
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().WriteSummary(stderr);
+  }
+  internal::FlushJsonlSink();
+}
+
+}  // namespace adafgl::obs

@@ -1,0 +1,104 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace adafgl::obs {
+
+std::vector<double> DefaultTimeBoundsNs() {
+  // Decades from 100 ns to 10 s — coarse but enough to separate "cheap
+  // kernel" from "whole round" without per-record arithmetic.
+  return {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+std::vector<double> UnitIntervalBounds() {
+  std::vector<double> bounds;
+  bounds.reserve(10);
+  for (int i = 1; i <= 10; ++i) bounds.push_back(0.1 * i);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so cached instrument pointers outlive static destructors.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultTimeBoundsNs();
+    std::sort(bounds.begin(), bounds.end());
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::SummaryText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    if (c->value() == 0) continue;
+    std::snprintf(line, sizeof(line), "counter %s %lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %.6g\n", name.c_str(),
+                  g->value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    std::snprintf(line, sizeof(line), "histogram %s count=%lld mean=%.6g\n",
+                  name.c_str(), static_cast<long long>(h->count()),
+                  h->Mean());
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteSummary(std::FILE* out) const {
+  const std::string text = SummaryText();
+  if (text.empty()) return;
+  std::fprintf(out, "[adafgl] metric summary:\n%s", text.c_str());
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Set(0.0);
+  for (auto& [name, h] : histograms_) {
+    for (size_t b = 0; b < h->num_buckets(); ++b) {
+      h->buckets_[b].store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace adafgl::obs

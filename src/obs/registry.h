@@ -1,0 +1,146 @@
+#ifndef ADAFGL_OBS_REGISTRY_H_
+#define ADAFGL_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace adafgl::obs {
+
+namespace internal {
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-library).
+inline void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Monotonic 64-bit counter. Increments are relaxed atomics — safe from the
+/// comm worker pool, no locks, no fences on the hot path.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins double value (e.g. a score, a queue depth).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket boundaries are pinned at registration, so
+/// recording is a branchless-ish scan plus three relaxed atomic adds —
+/// no locks, safe from any thread.
+class Histogram {
+ public:
+  /// Records one observation.
+  void Record(double v) {
+    size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicAddDouble(sum_, v);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const int64_t c = count();
+    return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+  }
+  /// Upper bucket bounds (ascending); the implicit last bucket is +inf.
+  const std::vector<double>& bounds() const { return bounds_; }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds)
+      : name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<int64_t>[]>(bounds_.size() +
+                                                          1)) {}
+  std::string name_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Decade boundaries for nanosecond timings: 100 ns .. 10 s.
+std::vector<double> DefaultTimeBoundsNs();
+/// Uniform [0, 1] boundaries in steps of 0.1 (scores, ratios, the HCS).
+std::vector<double> UnitIntervalBounds();
+
+/// \brief Process-global, thread-safe metric registry.
+///
+/// Registration (Get*) takes a mutex and returns a pointer that stays valid
+/// for the life of the process — call sites cache it in a function-local
+/// static so steady-state increments never touch the lock:
+///
+///   static Counter* const c =
+///       MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
+///   c->Inc();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the named instrument, creating it on first use. The same name
+  /// always yields the same pointer.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first registration only (DefaultTimeBoundsNs()
+  /// when empty); later callers get the existing histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// One text line per non-zero instrument, name-sorted ("counter
+  /// tensor.matmul.calls 812"), for the exit dump and tests.
+  std::string SummaryText() const;
+  void WriteSummary(std::FILE* out) const;
+
+  /// Zeroes every counter/gauge/histogram (pointers stay valid). Tests only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace adafgl::obs
+
+#endif  // ADAFGL_OBS_REGISTRY_H_

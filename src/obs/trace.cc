@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace adafgl::obs {
+
+namespace {
+
+/// One finished span. `name` points into the caller's literal when
+/// `owned_name` is empty.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::string owned_name;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+
+  const char* Name() const {
+    return owned_name.empty() ? name : owned_name.c_str();
+  }
+};
+
+/// Cap per thread so a span-happy loop cannot eat unbounded memory (the
+/// drop tally makes the truncation visible).
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+std::atomic<int64_t> g_dropped{0};
+
+struct ThreadBuffer;
+
+/// Registry of every thread's buffer plus events from exited threads.
+struct TraceStore {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> live;
+  /// Events of exited threads, tagged with their original tid so per-track
+  /// nesting survives thread teardown.
+  std::vector<std::pair<int, TraceEvent>> retired;
+  int next_tid = 1;
+};
+
+TraceStore& Store() {
+  static TraceStore* store = new TraceStore;  // Leaked: see obs.cc.
+  return *store;
+}
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  int tid = 0;
+
+  ThreadBuffer() {
+    TraceStore& s = Store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    tid = s.next_tid++;
+    s.live.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    TraceStore& s = Store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.live.erase(std::remove(s.live.begin(), s.live.end(), this),
+                 s.live.end());
+    for (TraceEvent& e : events) {
+      s.retired.emplace_back(tid, std::move(e));
+    }
+  }
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+/// Snapshot of all recorded events with their thread ids.
+std::vector<std::pair<int, TraceEvent>> SnapshotEvents() {
+  TraceStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<std::pair<int, TraceEvent>> out;
+  out.reserve(s.retired.size());
+  for (const auto& [tid, e] : s.retired) out.emplace_back(tid, e);
+  for (const ThreadBuffer* b : s.live) {
+    for (const TraceEvent& e : b->events) out.emplace_back(b->tid, e);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Span::Finish() {
+  ThreadBuffer& buf = LocalBuffer();
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  if (lit_ != nullptr) {
+    e.name = lit_;
+  } else {
+    e.owned_name = std::move(name_);
+  }
+  e.start_ns = start_ns_;
+  e.end_ns = NowNs();
+  buf.events.push_back(std::move(e));
+}
+
+std::map<std::string, PhaseStat> PhaseSummary() {
+  std::map<std::string, PhaseStat> out;
+  for (const auto& [tid, e] : SnapshotEvents()) {
+    PhaseStat& stat = out[e.Name()];
+    ++stat.count;
+    stat.total_ns += e.end_ns - e.start_ns;
+  }
+  return out;
+}
+
+std::string PhaseSummaryText() {
+  std::string out;
+  char line[256];
+  for (const auto& [name, stat] : PhaseSummary()) {
+    std::snprintf(line, sizeof(line), "  %-32s %8lld %12.3f\n", name.c_str(),
+                  static_cast<long long>(stat.count),
+                  static_cast<double>(stat.total_ns) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::vector<std::pair<int, TraceEvent>> events = SnapshotEvents();
+  // chrome://tracing requires duration ("B"/"E") events sorted by
+  // timestamp within the file to nest correctly.
+  struct Entry {
+    char phase;
+    int tid;
+    const TraceEvent* event;
+    int64_t ts_ns;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(events.size() * 2);
+  for (const auto& [tid, e] : events) {
+    entries.push_back({'B', tid, &e, e.start_ns});
+    entries.push_back({'E', tid, &e, e.end_ns});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     // Ends before begins on ties keeps nesting balanced.
+                     return a.phase == 'E' && b.phase == 'B';
+                   });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const Entry& entry : entries) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(entry.event->Name());
+    w.Key("ph");
+    w.String(std::string(1, entry.phase));
+    w.Key("ts");
+    w.Double(static_cast<double>(entry.ts_ns) / 1e3);  // Microseconds.
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(entry.tid);
+    w.Key("cat");
+    w.String("adafgl");
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    Logf(LogLevel::kError, "cannot write trace to %s", path.c_str());
+    return false;
+  }
+  const std::string& json = w.str();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+int64_t DroppedSpanCount() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void ResetTraceForTest() {
+  TraceStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.clear();
+  for (ThreadBuffer* b : s.live) b->events.clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adafgl::obs

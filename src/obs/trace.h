@@ -1,0 +1,81 @@
+#ifndef ADAFGL_OBS_TRACE_H_
+#define ADAFGL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace adafgl::obs {
+
+/// \brief RAII traced region.
+///
+/// When tracing is enabled (ADAFGL_TRACE=<path> or SetTraceEnabled), the
+/// constructor stamps a start time and the destructor appends one event to
+/// a per-thread buffer — no locks, no allocation beyond the buffer's
+/// amortised growth, and nested spans nest naturally in the export. When
+/// tracing is disabled the constructor is a single relaxed load and the
+/// destructor a branch.
+///
+///   { obs::Span span("fed.round"); ... }   // literal, zero-copy
+///   { obs::Span span(std::string("run.") + algo); ... }
+class Span {
+ public:
+  explicit Span(const char* literal_name) {
+    if (TraceEnabled()) {
+      lit_ = literal_name;
+      start_ns_ = NowNs();
+      active_ = true;
+    }
+  }
+  explicit Span(const std::string& name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ns_ = NowNs();
+      active_ = true;
+    }
+  }
+  ~Span() { if (active_) Finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Finish();
+
+  bool active_ = false;
+  int64_t start_ns_ = 0;
+  const char* lit_ = nullptr;  // Static-literal fast path.
+  std::string name_;           // Dynamic names (copied).
+};
+
+/// Span under its historical name — some call sites read better as timers.
+using ScopedTimer = Span;
+
+/// Aggregated time per span name across every thread so far.
+struct PhaseStat {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+};
+std::map<std::string, PhaseStat> PhaseSummary();
+
+/// Flat text rendering of PhaseSummary() — one "<name> <count> <total_ms>"
+/// line per phase, name-sorted.
+std::string PhaseSummaryText();
+
+/// Writes every recorded span as Chrome `trace_event` JSON ("B"/"E" pairs,
+/// microsecond timestamps) loadable in chrome://tracing / Perfetto.
+/// Returns false (and logs) when the file cannot be written.
+bool WriteChromeTrace(const std::string& path);
+
+/// Number of spans discarded because a thread exceeded its buffer cap
+/// (kMaxEventsPerThread); non-zero means the trace is truncated.
+int64_t DroppedSpanCount();
+
+/// Discards all recorded spans and the drop tally. Tests only.
+void ResetTraceForTest();
+
+}  // namespace adafgl::obs
+
+#endif  // ADAFGL_OBS_TRACE_H_

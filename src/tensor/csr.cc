@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+
 namespace adafgl {
+
+namespace {
+
+/// SpMM accounting (ADAFGL_METRICS=1): calls and 2*nnz*cols multiply-adds.
+inline void CountSpMM(int64_t nnz, int64_t cols) {
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor.spmm.calls");
+  static obs::Counter* const flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor.spmm.flops");
+  calls->Inc();
+  flops->Inc(2 * nnz * cols);
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
                                   std::vector<Triplet> triplets) {
@@ -44,6 +60,7 @@ bool CsrMatrix::HasEntry(int32_t r, int32_t c) const {
 
 Matrix CsrMatrix::Multiply(const Matrix& x) const {
   ADAFGL_CHECK(cols_ == x.rows());
+  if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(rows_, x.cols());
   const int64_t d = x.cols();
   for (int32_t r = 0; r < rows_; ++r) {
@@ -60,6 +77,7 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
 
 Matrix CsrMatrix::MultiplyTranspose(const Matrix& x) const {
   ADAFGL_CHECK(rows_ == x.rows());
+  if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(cols_, x.cols());
   const int64_t d = x.cols();
   for (int32_t r = 0; r < rows_; ++r) {

@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+
 namespace adafgl {
+
+namespace {
+
+/// Kernel accounting (ADAFGL_METRICS=1): one call counter and a
+/// multiply-add tally per matmul flavour. The pointers are resolved once;
+/// the disabled path is the single relaxed load in MetricsEnabled().
+inline void CountMatMul(int64_t m, int64_t k, int64_t n) {
+  static obs::Counter* const calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
+  static obs::Counter* const flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
+  calls->Inc();
+  flops->Inc(2 * m * k * n);
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.cols() == b.rows());
+  if (obs::MetricsEnabled()) CountMatMul(a.rows(), a.cols(), b.cols());
   Matrix c(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   for (int64_t i = 0; i < m; ++i) {
@@ -24,6 +43,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.rows() == b.rows());
+  if (obs::MetricsEnabled()) CountMatMul(a.cols(), a.rows(), b.cols());
   Matrix c(a.cols(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   for (int64_t i = 0; i < m; ++i) {
@@ -41,6 +61,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.cols() == b.cols());
+  if (obs::MetricsEnabled()) CountMatMul(a.rows(), a.cols(), b.rows());
   Matrix c(a.rows(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   for (int64_t i = 0; i < m; ++i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/status.h"
 
 namespace adafgl {
@@ -53,6 +55,12 @@ void CollectReachable(const Tensor& root, std::vector<TensorNode*>* order,
 void Backward(const Tensor& loss) {
   ADAFGL_CHECK(loss != nullptr);
   ADAFGL_CHECK(loss->rows() == 1 && loss->cols() == 1);
+  obs::Span span("autograd.backward");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const calls =
+        obs::MetricsRegistry::Global().GetCounter("autograd.backward.calls");
+    calls->Inc();
+  }
   std::vector<TensorNode*> nodes;
   std::unordered_set<TensorNode*> seen;
   CollectReachable(loss, &nodes, &seen);

@@ -1,0 +1,173 @@
+#ifndef ADAFGL_TESTS_JSON_CHECK_H_
+#define ADAFGL_TESTS_JSON_CHECK_H_
+
+#include <cctype>
+#include <string>
+
+namespace adafgl {
+namespace testing {
+
+/// \brief Minimal recursive-descent JSON parser used to validate the
+/// output of the obs emitters (trace export, events, bench.json) with a
+/// real grammar rather than brace counting. Accepts exactly RFC 8259
+/// documents; on failure `error` holds the byte offset and reason.
+class JsonChecker {
+ public:
+  bool Validate(const std::string& text, std::string* error) {
+    s_ = &text;
+    pos_ = 0;
+    err_.clear();
+    SkipWs();
+    const bool ok = Value() && (SkipWs(), pos_ == text.size());
+    if (!ok && err_.empty()) {
+      err_ = "trailing bytes at offset " + std::to_string(pos_);
+    }
+    if (error != nullptr) *error = err_;
+    return ok;
+  }
+
+ private:
+  char Peek() const { return pos_ < s_->size() ? (*s_)[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_->size() && (Peek() == ' ' || Peek() == '\t' ||
+                                 Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Fail(const std::string& why) {
+    if (err_.empty()) err_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Value() {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (!Eat(*p)) return Fail(std::string("expected '") + lit + "'");
+    }
+    return true;
+  }
+
+  bool Object() {
+    if (!Eat('{')) return Fail("expected '{'");
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return Fail("expected '['");
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return Fail("expected '\"'");
+    while (pos_ < s_->size()) {
+      const char c = (*s_)[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= s_->size()) return Fail("truncated escape");
+        const char e = (*s_)[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_->size() ||
+                std::isxdigit(static_cast<unsigned char>((*s_)[pos_])) == 0) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    } else {
+      return Fail("expected a value");
+    }
+    if (Eat('.')) {
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return Fail("expected fraction digits");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return Fail("expected exponent digits");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string* s_ = nullptr;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+/// Convenience wrapper: true when `text` is one valid JSON document.
+inline bool IsValidJson(const std::string& text, std::string* error) {
+  JsonChecker checker;
+  return checker.Validate(text, error);
+}
+
+}  // namespace testing
+}  // namespace adafgl
+
+#endif  // ADAFGL_TESTS_JSON_CHECK_H_

@@ -1,0 +1,190 @@
+// Federated-level observability tests: the per-round event stream a
+// FedAvg smoke run emits (pinned against a golden key list), the round
+// trajectory recorded in FedRunResult, and the bench.json document.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/bench_json.h"
+#include "fed/federation.h"
+#include "fed/splits.h"
+#include "json_check.h"
+#include "obs/log.h"
+#include "obs/obs.h"
+#include "test_util.h"
+
+#ifndef ADAFGL_TESTS_DIR
+#define ADAFGL_TESTS_DIR "tests"
+#endif
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::testing::IsValidJson;
+using ::adafgl::testing::MakeSmallSbm;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Top-level key names of one flat JSON object line, in order.
+std::vector<std::string> ObjectKeys(const std::string& line) {
+  std::vector<std::string> keys;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t open = line.find('"', pos);
+    if (open == std::string::npos) break;
+    const size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) break;
+    if (close + 1 < line.size() && line[close + 1] == ':') {
+      keys.push_back(line.substr(open + 1, close - open - 1));
+      // Skip the value; string values may contain '"' or ':'.
+      size_t v = close + 2;
+      if (v < line.size() && line[v] == '"') {
+        ++v;
+        while (v < line.size() && line[v] != '"') {
+          if (line[v] == '\\') ++v;
+          ++v;
+        }
+      }
+      pos = v + 1;
+    } else {
+      pos = close + 1;
+    }
+  }
+  return keys;
+}
+
+FederatedDataset TwoClientFederation() {
+  Graph g = MakeSmallSbm(160, 3, 0.85, 17);
+  Rng rng(18);
+  return StructureNonIidSplit(g, 2, InjectionMode::kNone, 0.5, rng);
+}
+
+FedConfig SmokeConfig() {
+  FedConfig cfg;
+  cfg.rounds = 3;
+  cfg.local_epochs = 1;
+  cfg.post_local_epochs = 1;
+  cfg.hidden = 16;
+  cfg.eval_every = 1;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ObsFedTest, FedAvgSmokeEmitsGoldenRoundEventKeys) {
+  // The contract bench.json and any downstream consumer depend on: every
+  // round of a FedAvg run emits one "fed.round" event whose key set (and
+  // order) matches the checked-in golden file.
+  const std::string jsonl =
+      ::testing::TempDir() + "/adafgl_obs_fed_events.jsonl";
+  std::remove(jsonl.c_str());
+  obs::SetJsonlPath(jsonl);
+  FedRunResult result = RunFedAvg(TwoClientFederation(), SmokeConfig());
+  obs::Flush();
+  obs::SetJsonlPath("");
+
+  const std::vector<std::string> golden_keys = ReadLines(
+      std::string(ADAFGL_TESTS_DIR) + "/golden/fed_round_event_keys.txt");
+  ASSERT_FALSE(golden_keys.empty());
+
+  int fed_round_events = 0;
+  for (const std::string& line : ReadLines(jsonl)) {
+    std::string err;
+    ASSERT_TRUE(IsValidJson(line, &err)) << err << "\n" << line;
+    if (line.find("\"event\":\"fed.round\"") == std::string::npos) continue;
+    ++fed_round_events;
+    EXPECT_EQ(ObjectKeys(line), golden_keys) << line;
+  }
+  // eval_every=1: one event per round.
+  EXPECT_EQ(fed_round_events, SmokeConfig().rounds);
+  EXPECT_EQ(result.history.size(),
+            static_cast<size_t>(SmokeConfig().rounds));
+  std::remove(jsonl.c_str());
+}
+
+TEST(ObsFedTest, RoundRecordsCarryMonotoneTransportAccounting) {
+  FedConfig cfg = SmokeConfig();
+  // A non-trivial link so the simulated clock advances.
+  cfg.comm.link.latency_s = 0.01;
+  FedRunResult result = RunFedAvg(TwoClientFederation(), cfg);
+  ASSERT_EQ(result.history.size(), static_cast<size_t>(cfg.rounds));
+  for (size_t i = 0; i < result.history.size(); ++i) {
+    const RoundRecord& r = result.history[i];
+    EXPECT_EQ(r.round, static_cast<int>(i) + 1);
+    EXPECT_EQ(r.participants, 2);
+    EXPECT_GT(r.train_loss, 0.0);
+    EXPECT_GT(r.bytes_up, 0);
+    EXPECT_GT(r.bytes_down, 0);
+    EXPECT_GT(r.sim_seconds, 0.0);
+    if (i > 0) {
+      const RoundRecord& prev = result.history[i - 1];
+      EXPECT_GE(r.bytes_up, prev.bytes_up);
+      EXPECT_GE(r.bytes_down, prev.bytes_down);
+      EXPECT_GE(r.sim_seconds, prev.sim_seconds);
+    }
+  }
+  // The final record matches the run-level accounting.
+  EXPECT_EQ(result.history.back().bytes_up, result.comm.stats.bytes_up);
+  EXPECT_EQ(result.history.back().bytes_down, result.comm.stats.bytes_down);
+}
+
+TEST(ObsFedTest, BenchReportWritesSchemaDocument) {
+  const std::string path = ::testing::TempDir() + "/adafgl_bench_test.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("ADAFGL_BENCH_JSON", path.c_str(), 1), 0);
+  BenchReport::Global().ResetForTest();
+  ASSERT_TRUE(BenchReport::Global().enabled());
+
+  BenchReport::Global().SetExperiment("Test Table", "schema check");
+  MeanStd acc;
+  acc.mean = 0.81;
+  acc.std = 0.02;
+  BenchReport::Global().AddCell("FedGCN", "Cora", "noniid", acc);
+  FedRunResult run = RunFedAvg(TwoClientFederation(), SmokeConfig());
+  BenchReport::Global().AddRun("FedGCN", "Cora", "noniid", run);
+  BenchReport::Global().Write();
+
+  const std::string doc = ReadFile(path);
+  std::string err;
+  ASSERT_TRUE(IsValidJson(doc, &err)) << err;
+  for (const char* key :
+       {"schema_version", "experiment", "description", "knobs", "seeds",
+        "rounds", "epochs", "post_epochs", "codec", "threads", "cells",
+        "method", "dataset", "split", "acc_mean", "acc_std", "runs",
+        "final_acc", "bytes_up", "bytes_down", "messages_up",
+        "messages_down", "drops", "dropouts", "sim_seconds", "train_loss",
+        "test_acc", "participants"}) {
+    EXPECT_NE(doc.find(std::string("\"") + key + "\":"), std::string::npos)
+        << "missing key " << key;
+  }
+  // Per-round trajectory present: one entry per recorded round.
+  EXPECT_NE(doc.find("\"round\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"round\":3"), std::string::npos);
+
+  unsetenv("ADAFGL_BENCH_JSON");
+  BenchReport::Global().ResetForTest();
+  EXPECT_FALSE(BenchReport::Global().enabled());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adafgl

@@ -1,0 +1,252 @@
+// Unit tests of the observability layer: exact concurrent counting, trace
+// export validity, phase aggregation, and the JSON primitives everything
+// is built on. Federated-level obs tests live in obs_fed_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace adafgl::obs {
+namespace {
+
+using ::adafgl::testing::IsValidJson;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTest();
+    ResetTraceForTest();
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+  }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+    MetricsRegistry::Global().ResetForTest();
+    ResetTraceForTest();
+  }
+};
+
+TEST_F(ObsTest, ConcurrentIncrementsSumExactly) {
+  // The registry's core guarantee: relaxed atomic increments from many
+  // threads lose nothing.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.concurrent");
+  Histogram* hist = MetricsRegistry::Global().GetHistogram(
+      "test.concurrent_hist", UnitIntervalBounds());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        hist->Record(static_cast<double>(t) / kThreads);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->count(), static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t bucket_total = 0;
+  for (size_t b = 0; b < hist->num_buckets(); ++b) {
+    bucket_total += hist->bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, hist->count());
+}
+
+TEST_F(ObsTest, SameNameYieldsSamePointer) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  Histogram* ha = MetricsRegistry::Global().GetHistogram("test.stable_h");
+  Histogram* hb = MetricsRegistry::Global().GetHistogram(
+      "test.stable_h", UnitIntervalBounds());  // Bounds ignored on reuse.
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(ha->bounds(), DefaultTimeBoundsNs());
+}
+
+TEST_F(ObsTest, HistogramBucketsObservations) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.buckets", std::vector<double>{1.0, 10.0, 100.0});
+  h->Record(0.5);    // bucket 0: <= 1
+  h->Record(5.0);    // bucket 1: <= 10
+  h->Record(5.0);    // bucket 1
+  h->Record(1e6);    // bucket 3: overflow
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_EQ(h->bucket_count(0), 1);
+  EXPECT_EQ(h->bucket_count(1), 2);
+  EXPECT_EQ(h->bucket_count(2), 0);
+  EXPECT_EQ(h->bucket_count(3), 1);
+  EXPECT_DOUBLE_EQ(h->Mean(), (0.5 + 5.0 + 5.0 + 1e6) / 4.0);
+}
+
+TEST_F(ObsTest, SummaryTextListsNonZeroInstruments) {
+  MetricsRegistry::Global().GetCounter("test.zero");  // Stays silent.
+  MetricsRegistry::Global().GetCounter("test.hot")->Inc(42);
+  MetricsRegistry::Global().GetGauge("test.gauge")->Set(1.5);
+  const std::string summary = MetricsRegistry::Global().SummaryText();
+  EXPECT_NE(summary.find("test.hot"), std::string::npos);
+  EXPECT_NE(summary.find("42"), std::string::npos);
+  EXPECT_NE(summary.find("test.gauge"), std::string::npos);
+  EXPECT_EQ(summary.find("test.zero"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceExportIsValidBalancedJson) {
+  SetTraceEnabled(true);
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+    { Span inner2(std::string("dynamic.") + "name"); }
+  }
+  // Spans from worker threads land in per-thread buffers and must still
+  // export balanced per-tid begin/end pairs after the threads exit.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      Span outer("worker.outer");
+      Span inner("worker.inner");
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  SetTraceEnabled(false);
+
+  const std::string path =
+      ::testing::TempDir() + "/adafgl_obs_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  const std::string doc = ReadFile(path);
+  std::string err;
+  EXPECT_TRUE(IsValidJson(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dynamic.name\""), std::string::npos);
+
+  // Balanced events: every "B" has a matching "E" and no tid's stack ever
+  // goes negative when scanning in timestamp order (the writer emits in
+  // sorted order, so a linear scan is the stack discipline check).
+  std::map<int64_t, int64_t> depth;
+  int64_t begins = 0, ends = 0;
+  size_t pos = 0;
+  while ((pos = doc.find("\"ph\":\"", pos)) != std::string::npos) {
+    const char ph = doc[pos + 6];
+    const size_t tid_pos = doc.find("\"tid\":", pos);
+    ASSERT_NE(tid_pos, std::string::npos);
+    const int64_t tid = std::strtoll(doc.c_str() + tid_pos + 6, nullptr, 10);
+    if (ph == 'B') {
+      ++begins;
+      ++depth[tid];
+    } else if (ph == 'E') {
+      ++ends;
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "unbalanced E on tid " << tid;
+    }
+    ++pos;
+  }
+  EXPECT_EQ(begins, 11);  // 3 main-thread spans + 4 workers x 2 spans.
+  EXPECT_EQ(begins, ends);
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "tid " << tid << " left " << d << " open spans";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, PhaseSummaryAggregatesPerName) {
+  SetTraceEnabled(true);
+  { Span a("phase.a"); }
+  { Span a("phase.a"); }
+  { Span b("phase.b"); }
+  SetTraceEnabled(false);
+  const std::map<std::string, PhaseStat> summary = PhaseSummary();
+  ASSERT_TRUE(summary.count("phase.a"));
+  ASSERT_TRUE(summary.count("phase.b"));
+  EXPECT_EQ(summary.at("phase.a").count, 2);
+  EXPECT_EQ(summary.at("phase.b").count, 1);
+  EXPECT_GE(summary.at("phase.a").total_ns, 0);
+  const std::string text = PhaseSummaryText();
+  EXPECT_NE(text.find("phase.a"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledKnobsRecordNothing) {
+  ASSERT_FALSE(MetricsEnabled());
+  ASSERT_FALSE(TraceEnabled());
+  { Span span("invisible"); }
+  EXPECT_TRUE(PhaseSummary().empty());
+  // The call-site pattern: the counter is never even registered.
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetCounter("test.never")->Inc();
+  }
+  EXPECT_EQ(MetricsRegistry::Global().SummaryText(), "");
+}
+
+TEST_F(ObsTest, EventRenderIsValidJson) {
+  const std::string line = Event("test.event")
+                               .I64("round", 3)
+                               .F64("loss", 0.5)
+                               .F64("nan_maps_to_null", std::nan(""))
+                               .Str("method", "Fed\"Avg\"\n")
+                               .Bool("ok", true)
+                               .Render();
+  std::string err;
+  EXPECT_TRUE(IsValidJson(line, &err)) << err << "\n" << line;
+  EXPECT_NE(line.find("\"event\":\"test.event\""), std::string::npos);
+  EXPECT_NE(line.find("\"ts_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"nan_maps_to_null\":null"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonPrimitives) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  EXPECT_EQ(JsonDouble(std::nan("")), "null");
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Double(2.5);
+  w.String("three");
+  w.Bool(false);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("k");
+  w.Int(0);
+  w.EndObject();
+  w.EndObject();
+  std::string err;
+  EXPECT_TRUE(IsValidJson(w.str(), &err)) << err << "\n" << w.str();
+  EXPECT_EQ(w.str(),
+            "{\"list\":[1,2.5,\"three\",false],\"nested\":{\"k\":0}}");
+}
+
+TEST_F(ObsTest, ResetForTestZeroesButKeepsPointers) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.reset");
+  c->Inc(10);
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.reset_h");
+  h->Record(1.0);
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.reset"), c);
+}
+
+}  // namespace
+}  // namespace adafgl::obs

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the table8 bench with the bench.json sink enabled and checks that
+# the emitted document's key schema matches the checked-in example
+# (tools/bench_schema_example.json). A schema drift fails the script, so
+# downstream consumers of bench.json notice breaking changes here first.
+#
+#   tools/bench_to_json.sh            # uses ./build (or $BUILD_DIR)
+#   BUILD_DIR=build-tsan tools/bench_to_json.sh
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+bin="$build/bench/table8_paradigm_summary"
+
+if [[ ! -x "$bin" ]]; then
+  echo "building table8_paradigm_summary..." >&2
+  cmake -B "$build" -S "$root" >/dev/null
+  cmake --build "$build" -j --target table8_paradigm_summary >/dev/null
+fi
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+# Tiny knobs: the schema is knob-independent, so keep the run short.
+ADAFGL_SEEDS=1 ADAFGL_ROUNDS=2 ADAFGL_EPOCHS=1 ADAFGL_POST_EPOCHS=1 \
+  ADAFGL_BENCH_JSON="$out/bench.json" "$bin" >"$out/stdout.txt"
+
+if [[ ! -s "$out/bench.json" ]]; then
+  echo "FAIL: table8 did not write bench.json" >&2
+  exit 1
+fi
+
+python3 "$root/tools/json_schema_keys.py" "$out/bench.json" \
+  >"$out/schema.txt"
+python3 "$root/tools/json_schema_keys.py" \
+  "$root/tools/bench_schema_example.json" >"$out/expected.txt"
+
+if ! diff -u "$out/expected.txt" "$out/schema.txt"; then
+  echo "FAIL: bench.json schema drifted from tools/bench_schema_example.json" >&2
+  exit 1
+fi
+echo "bench.json schema OK ($(wc -l <"$out/schema.txt") key paths)"

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Prints the key schema of a JSON document.
+
+One line per distinct key path, sorted; array elements collapse to "[]",
+so documents with the same structure but different data produce identical
+output. tools/bench_to_json.sh diffs this against the checked-in
+bench_schema_example.json schema.
+"""
+import json
+import sys
+
+
+def walk(node, prefix, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            out.add(path)
+            walk(value, path, out)
+    elif isinstance(node, list):
+        for value in node:
+            walk(value, prefix + "[]", out)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <file.json>")
+    with open(sys.argv[1], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    paths = set()
+    walk(doc, "", paths)
+    print("\n".join(sorted(paths)))
+
+
+if __name__ == "__main__":
+    main()
