@@ -114,6 +114,28 @@ double MeasureDisabledGateNs() {
   return ns / static_cast<double>(kIters);
 }
 
+/// Same budget for the Span constructor/destructor with every knob off
+/// (ADAFGL_PROFILE unset): one relaxed load in, one branch out.
+double MeasureDisabledSpanNs() {
+  SetMetricsEnabled(false);
+  SetTraceEnabled(false);
+  SetProfileEnabled(false);
+  constexpr int64_t kIters = 50'000'000;
+  for (int64_t i = 0; i < 1000; ++i) {
+    Span span("micro.budget_span");
+    asm volatile("" ::: "memory");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < kIters; ++i) {
+    Span span("micro.budget_span");
+    asm volatile("" ::: "memory");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return ns / static_cast<double>(kIters);
+}
+
 }  // namespace
 }  // namespace adafgl::obs
 
@@ -131,6 +153,14 @@ int main(int argc, char** argv) {
                    "FAIL: disabled instrumentation path costs %.3f ns/op "
                    "(>= 5 ns budget)\n",
                    ns);
+      return 1;
+    }
+    const double span_ns = MeasureDisabledSpanNs();
+    std::printf("disabled-span cost: %.3f ns/op (budget 5.0)\n", span_ns);
+    if (span_ns >= 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: disabled Span costs %.3f ns/op (>= 5 ns budget)\n",
+                   span_ns);
       return 1;
     }
   } else {

@@ -6,7 +6,10 @@
 
 #include "obs/json.h"
 #include "obs/log.h"
+#include "obs/mem.h"
 #include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace adafgl {
 
@@ -19,7 +22,10 @@ std::mutex& Mu() {
 
 }  // namespace
 
-BenchReport::BenchReport() { ReadEnv(); }
+BenchReport::BenchReport() {
+  ReadEnv();
+  start_ns_ = obs::NowNs();
+}
 
 void BenchReport::ReadEnv() {
   const char* path = std::getenv("ADAFGL_BENCH_JSON");
@@ -76,6 +82,7 @@ void BenchReport::AddRun(const std::string& method,
   run.threads = result.comm.num_threads;
   run.stats = result.comm.stats;
   run.rounds = result.history;
+  run.perf = result.perf;
   runs_.push_back(std::move(run));
 }
 
@@ -84,7 +91,7 @@ std::string BenchReport::ToJson() {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(1);
+  w.Int(2);
   w.Key("experiment");
   w.String(experiment_);
   w.Key("description");
@@ -151,6 +158,12 @@ std::string BenchReport::ToJson() {
     w.Int(r.stats.dropouts);
     w.Key("sim_seconds");
     w.Double(r.stats.sim_seconds);
+    w.Key("wall_seconds");
+    w.Double(r.perf.wall_seconds);
+    w.Key("flops");
+    w.Int(r.perf.flops);
+    w.Key("peak_tensor_bytes");
+    w.Int(r.perf.peak_tensor_bytes);
     w.Key("rounds");
     w.BeginArray();
     for (const RoundRecord& rec : r.rounds) {
@@ -172,6 +185,40 @@ std::string BenchReport::ToJson() {
       w.EndObject();
     }
     w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  // Whole-process cost profile: wall-clock since the report was created,
+  // kernel flops / peak tensor bytes (non-zero with ADAFGL_METRICS=1),
+  // and the OS-reported peak RSS.
+  w.Key("perf");
+  w.BeginObject();
+  w.Key("wall_seconds");
+  w.Double(static_cast<double>(obs::NowNs() - start_ns_) / 1e9);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  w.Key("flops");
+  w.Int(reg.GetCounter("tensor.matmul.flops")->value() +
+        reg.GetCounter("tensor.spmm.flops")->value());
+  w.Key("peak_tensor_bytes");
+  w.Int(obs::mem::PeakBytes());
+  w.Key("peak_rss_bytes");
+  w.Int(obs::mem::ReadPeakRssBytes());
+  w.Key("allocs");
+  w.Int(obs::mem::AllocCount());
+  w.EndObject();
+  // Per-phase span aggregation (populated when tracing was on).
+  w.Key("phases");
+  w.BeginArray();
+  for (const auto& [name, stat] : obs::PhaseSummary()) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.Key("count");
+    w.Int(stat.count);
+    w.Key("total_ms");
+    w.Double(static_cast<double>(stat.total_ns) / 1e6);
+    w.Key("peak_bytes");
+    w.Int(stat.peak_bytes);
     w.EndObject();
   }
   w.EndArray();

@@ -21,7 +21,7 @@ namespace adafgl {
 ///
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "experiment": "Table VIII",
 ///   "description": "...",
 ///   "knobs": {"seeds", "rounds", "epochs", "post_epochs",
@@ -30,16 +30,24 @@ namespace adafgl {
 ///   "runs":  [{"method", "dataset", "split", "final_acc", "codec",
 ///              "threads", "bytes_up", "bytes_down", "messages_up",
 ///              "messages_down", "drops", "dropouts", "sim_seconds",
+///              "wall_seconds", "flops", "peak_tensor_bytes",
 ///              "rounds": [{"round", "train_loss", "test_acc",
 ///                          "participants", "bytes_up", "bytes_down",
-///                          "sim_seconds"}]}]
+///                          "sim_seconds"}]}],
+///   "perf":  {"wall_seconds", "flops", "peak_tensor_bytes",
+///             "peak_rss_bytes", "allocs"},
+///   "phases": [{"name", "count", "total_ms", "peak_bytes"}]
 /// }
 /// ```
 ///
 /// `cells` are the aggregated table entries (mean ± std over seeds);
 /// `runs` carry the full per-round trajectory of individual runs for the
-/// benches that record them (table8's measured-communication section).
-/// All methods are thread-safe; recording is a no-op when disabled.
+/// benches that record them (table8's measured-communication section),
+/// each with its measured wall-clock/flop/peak-memory cost (RunPerf).
+/// `perf` is the whole process (wall-clock since the report was created,
+/// kernel flops, peak tensor bytes, peak RSS); `phases` mirrors
+/// obs::PhaseSummary() and is empty unless tracing was on. All methods
+/// are thread-safe; recording is a no-op when disabled.
 class BenchReport {
  public:
   /// Process-wide instance (leaked; safe during exit).
@@ -87,11 +95,13 @@ class BenchReport {
     int threads = 1;
     comm::CommStats stats;
     std::vector<RoundRecord> rounds;
+    RunPerf perf;
   };
 
   void ReadEnv();
 
   bool enabled_ = false;
+  int64_t start_ns_ = 0;
   std::string path_;
   std::string experiment_;
   std::string description_;

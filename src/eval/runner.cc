@@ -1,5 +1,7 @@
 #include "eval/runner.h"
 
+#include <chrono>
+
 #include "data/registry.h"
 #include "eval/report.h"
 #include "fed/fedgl.h"
@@ -8,10 +10,23 @@
 #include "fed/gcfl.h"
 #include "nn/models.h"
 #include "obs/log.h"
+#include "obs/mem.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "tensor/status.h"
 
 namespace adafgl {
+
+namespace {
+
+/// MatMul + SpMM multiply-adds counted so far (0 when metrics are off).
+int64_t ReadKernelFlops() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  return reg.GetCounter("tensor.matmul.flops")->value() +
+         reg.GetCounter("tensor.spmm.flops")->value();
+}
+
+}  // namespace
 
 FederatedDataset PrepareFederatedDataset(const ExperimentSpec& spec,
                                          uint64_t seed) {
@@ -29,10 +44,13 @@ FederatedDataset PrepareFederatedDataset(const ExperimentSpec& spec,
                               spec.injection_ratio, split_rng);
 }
 
-FedRunResult RunAlgorithm(const std::string& algorithm,
-                          const FederatedDataset& data,
-                          const FedConfig& config) {
-  obs::Span span(std::string("run.") + algorithm);
+namespace {
+
+/// Dispatch only; RunAlgorithm wraps this with the span and the perf
+/// measurement.
+FedRunResult DispatchAlgorithm(const std::string& algorithm,
+                               const FederatedDataset& data,
+                               const FedConfig& config) {
   if (algorithm == "AdaFGL") return RunAdaFglAsFed(data, config);
   if (algorithm == "FedGL") return RunFedGL(data, config);
   if (algorithm == "GCFL+") return RunGcflPlus(data, config);
@@ -51,6 +69,29 @@ FedRunResult RunAlgorithm(const std::string& algorithm,
   }
   ADAFGL_CHECK(false && "unknown algorithm name");
   return {};
+}
+
+}  // namespace
+
+FedRunResult RunAlgorithm(const std::string& algorithm,
+                          const FederatedDataset& data,
+                          const FedConfig& config) {
+  // Lazy name: the string is only built when tracing/profiling/metrics
+  // are on, so disabled runs allocate nothing here.
+  obs::Span span([&] { return "run." + algorithm; });
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t flops0 = metrics ? ReadKernelFlops() : 0;
+  if (metrics) obs::mem::ResetPeakToLive();
+  const auto t0 = std::chrono::steady_clock::now();
+  FedRunResult result = DispatchAlgorithm(algorithm, data, config);
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (metrics) {
+    result.perf.flops = ReadKernelFlops() - flops0;
+    result.perf.peak_tensor_bytes = obs::mem::PeakBytes();
+  }
+  return result;
 }
 
 double RunExperimentOnce(const ExperimentSpec& spec,

@@ -56,6 +56,18 @@ struct RoundRecord {
   double sim_seconds = 0.0;
 };
 
+/// Compute/memory cost of one algorithm run, measured by
+/// eval::RunAlgorithm around the whole run: wall-clock always, flops and
+/// peak tensor bytes when ADAFGL_METRICS=1 (zero otherwise). The numbers
+/// bench.json and the BENCH_<seq>.json perf trajectory report per method.
+struct RunPerf {
+  double wall_seconds = 0.0;
+  /// MatMul + SpMM multiply-adds counted during the run.
+  int64_t flops = 0;
+  /// High-water mark of live tensor buffer bytes during the run.
+  int64_t peak_tensor_bytes = 0;
+};
+
 /// Outcome of a federated run.
 struct FedRunResult {
   std::vector<RoundRecord> history;
@@ -74,6 +86,8 @@ struct FedRunResult {
   comm::CommReport comm;
   /// Final server-side aggregated weights (AdaFGL Step 1 consumes these).
   std::vector<Matrix> global_weights;
+  /// Wall-clock / flop / peak-memory cost (filled by eval::RunAlgorithm).
+  RunPerf perf;
 };
 
 /// \brief One federated participant: local subgraph, local model, local

@@ -1,0 +1,149 @@
+#include "obs/mem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/prof.h"
+#include "obs/registry.h"
+
+namespace adafgl::obs::mem {
+
+namespace {
+
+internal::Stat& TotalStat() {
+  static internal::Stat* stat = new internal::Stat;  // Leaked: see obs.cc.
+  return *stat;
+}
+
+/// Span-name (interned pointer) -> bucket. Buckets are leaked so handles
+/// can release against them during static destruction.
+struct SpanBuckets {
+  std::mutex mu;
+  std::unordered_map<const char*, internal::Stat*> by_frame;
+};
+
+SpanBuckets& Buckets() {
+  static SpanBuckets* b = new SpanBuckets;  // Leaked: see obs.cc.
+  return *b;
+}
+
+internal::Stat* BucketFor(const char* frame) {
+  if (frame == nullptr) return nullptr;
+  // Per-thread memo of the last bucket: consecutive allocations almost
+  // always happen under the same innermost span.
+  thread_local const char* cached_frame = nullptr;
+  thread_local internal::Stat* cached_stat = nullptr;
+  if (frame == cached_frame) return cached_stat;
+  SpanBuckets& b = Buckets();
+  internal::Stat* stat;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    auto it = b.by_frame.find(frame);
+    if (it == b.by_frame.end()) {
+      it = b.by_frame.emplace(frame, new internal::Stat).first;
+    }
+    stat = it->second;
+  }
+  cached_frame = frame;
+  cached_stat = stat;
+  return stat;
+}
+
+}  // namespace
+
+namespace internal {
+
+Stat* OnAlloc(int64_t bytes) {
+  TotalStat().Add(bytes);
+  Stat* span_stat = BucketFor(prof::CurrentFrame());
+  if (span_stat != nullptr) span_stat->Add(bytes);
+  return span_stat;
+}
+
+void OnFree(Stat* span_stat, int64_t bytes) {
+  TotalStat().Sub(bytes);
+  if (span_stat != nullptr) span_stat->Sub(bytes);
+}
+
+}  // namespace internal
+
+Snapshot Total() {
+  const internal::Stat& s = TotalStat();
+  Snapshot out;
+  out.live_bytes = s.live.load(std::memory_order_relaxed);
+  out.peak_bytes = s.peak.load(std::memory_order_relaxed);
+  out.allocs = s.allocs.load(std::memory_order_relaxed);
+  return out;
+}
+
+int64_t LiveBytes() { return Total().live_bytes; }
+int64_t PeakBytes() { return Total().peak_bytes; }
+int64_t AllocCount() { return Total().allocs; }
+
+void ResetPeakToLive() {
+  internal::Stat& s = TotalStat();
+  s.peak.store(s.live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+std::map<std::string, Snapshot> PerSpanSnapshot() {
+  SpanBuckets& b = Buckets();
+  std::map<std::string, Snapshot> out;
+  std::lock_guard<std::mutex> lock(b.mu);
+  for (const auto& [frame, stat] : b.by_frame) {
+    Snapshot s;
+    s.live_bytes = stat->live.load(std::memory_order_relaxed);
+    s.peak_bytes = stat->peak.load(std::memory_order_relaxed);
+    s.allocs = stat->allocs.load(std::memory_order_relaxed);
+    out[frame] = s;
+  }
+  return out;
+}
+
+int64_t ReadPeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+void PublishGauges() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const Snapshot total = Total();
+  reg.GetGauge("tensor.mem.live_bytes")
+      ->Set(static_cast<double>(total.live_bytes));
+  reg.GetGauge("tensor.mem.peak_bytes")
+      ->Set(static_cast<double>(total.peak_bytes));
+  reg.GetGauge("tensor.mem.allocs")->Set(static_cast<double>(total.allocs));
+  const int64_t rss = ReadPeakRssBytes();
+  if (rss > 0) {
+    reg.GetGauge("process.peak_rss_bytes")->Set(static_cast<double>(rss));
+  }
+}
+
+void ResetForTest() {
+  internal::Stat& s = TotalStat();
+  s.live.store(0, std::memory_order_relaxed);
+  s.peak.store(0, std::memory_order_relaxed);
+  s.allocs.store(0, std::memory_order_relaxed);
+  SpanBuckets& b = Buckets();
+  std::lock_guard<std::mutex> lock(b.mu);
+  for (auto& [frame, stat] : b.by_frame) {
+    stat->live.store(0, std::memory_order_relaxed);
+    stat->peak.store(0, std::memory_order_relaxed);
+    stat->allocs.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace adafgl::obs::mem

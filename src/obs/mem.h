@@ -1,0 +1,152 @@
+#ifndef ADAFGL_OBS_MEM_H_
+#define ADAFGL_OBS_MEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace adafgl::obs::mem {
+
+/// \brief Tensor memory accounting.
+///
+/// Matrix and CsrMatrix own an AllocHandle that reports the byte size of
+/// their heap buffers here. Accounting is on whenever metrics are on
+/// (ADAFGL_METRICS=1) and tracks three quantities, globally and per
+/// innermost active span (see obs/prof.h):
+///
+///   live bytes   — currently allocated tensor buffer bytes
+///   peak bytes   — high-water mark of live bytes
+///   alloc count  — number of buffer registrations
+///
+/// The global numbers surface as registry gauges/counters
+/// (tensor.mem.live_bytes, tensor.mem.peak_bytes, tensor.mem.allocs,
+/// process.peak_rss_bytes) via PublishGauges(); per-span peaks join
+/// PhaseSummary() and bench.json. Everything is relaxed atomics — safe
+/// from the comm worker pool, clean under tsan.
+
+/// True when allocations are being accounted (metrics knob).
+inline bool Enabled() { return MetricsEnabled(); }
+
+/// Point-in-time reading of one accounting bucket.
+struct Snapshot {
+  int64_t live_bytes = 0;
+  int64_t peak_bytes = 0;
+  int64_t allocs = 0;
+};
+
+namespace internal {
+
+/// One accounting bucket (the global total, or one span's attribution).
+struct Stat {
+  std::atomic<int64_t> live{0};
+  std::atomic<int64_t> peak{0};
+  std::atomic<int64_t> allocs{0};
+
+  void Add(int64_t bytes) {
+    const int64_t now = live.fetch_add(bytes, std::memory_order_relaxed) +
+                        bytes;
+    allocs.fetch_add(1, std::memory_order_relaxed);
+    int64_t old_peak = peak.load(std::memory_order_relaxed);
+    while (now > old_peak &&
+           !peak.compare_exchange_weak(old_peak, now,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(int64_t bytes) {
+    live.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+};
+
+/// Accounts `bytes` to the global total and the calling thread's
+/// innermost span; returns the span bucket (or nullptr) so the matching
+/// free can be attributed to the same bucket.
+Stat* OnAlloc(int64_t bytes);
+void OnFree(Stat* span_stat, int64_t bytes);
+
+}  // namespace internal
+
+/// \brief Per-container accounting handle; owned by Matrix / CsrMatrix.
+///
+/// The owner calls Track(bytes) after any operation that (re)allocates
+/// its buffers; the handle remembers what it registered (and to which
+/// span bucket) so destruction and re-tracking stay balanced even when
+/// the metrics knob flips mid-lifetime. Copies start unaccounted — the
+/// owning container re-Tracks after copying its buffers. Moves transfer
+/// the registration with the buffer.
+class AllocHandle {
+ public:
+  AllocHandle() = default;
+  AllocHandle(const AllocHandle&) {}
+  AllocHandle& operator=(const AllocHandle&) { return *this; }
+  AllocHandle(AllocHandle&& o) noexcept : bytes_(o.bytes_), site_(o.site_) {
+    o.bytes_ = 0;
+    o.site_ = nullptr;
+  }
+  AllocHandle& operator=(AllocHandle&& o) noexcept {
+    if (this != &o) {
+      Release();
+      bytes_ = o.bytes_;
+      site_ = o.site_;
+      o.bytes_ = 0;
+      o.site_ = nullptr;
+    }
+    return *this;
+  }
+  ~AllocHandle() { Release(); }
+
+  /// Registers the owner's current buffer footprint. Disabled path (no
+  /// prior registration, metrics off): one relaxed load and a branch.
+  void Track(int64_t bytes) {
+    if (bytes_ == bytes) return;
+    Release();
+    if (bytes <= 0 || !Enabled()) return;
+    site_ = internal::OnAlloc(bytes);
+    bytes_ = bytes;
+  }
+
+ private:
+  void Release() {
+    if (bytes_ != 0) {
+      internal::OnFree(site_, bytes_);
+      bytes_ = 0;
+      site_ = nullptr;
+    }
+  }
+
+  int64_t bytes_ = 0;
+  internal::Stat* site_ = nullptr;
+};
+
+/// Global tensor-buffer accounting.
+Snapshot Total();
+int64_t LiveBytes();
+int64_t PeakBytes();
+int64_t AllocCount();
+
+/// Collapses the peak back to the current live bytes — benches call this
+/// before a method run so PeakBytes() afterwards is that run's peak.
+void ResetPeakToLive();
+
+/// Peak live bytes attributed to each span name (the innermost active
+/// span at allocation time).
+std::map<std::string, Snapshot> PerSpanSnapshot();
+
+/// VmHWM of this process in bytes, read from /proc/self/status; 0 when
+/// unavailable (non-Linux).
+int64_t ReadPeakRssBytes();
+
+/// Copies the accounting state into registry instruments
+/// (tensor.mem.live_bytes / peak_bytes / allocs, process.peak_rss_bytes)
+/// so it appears in SummaryText(); called by obs::Flush.
+void PublishGauges();
+
+/// Zeroes all buckets (live containers keep their registrations balanced
+/// via their handles, so only call between runs). Tests only.
+void ResetForTest();
+
+}  // namespace adafgl::obs::mem
+
+#endif  // ADAFGL_OBS_MEM_H_

@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "obs/log.h"
+#include "obs/mem.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -18,6 +20,7 @@ struct PathState {
   std::mutex mu;
   std::string trace_path;
   std::string jsonl_path;
+  std::string profile_path;
   bool atexit_registered = false;
 };
 
@@ -51,6 +54,15 @@ void RegisterAtexitFlush() {
   }
 }
 
+/// Keeps the derived span-stack switch in sync with the three knobs that
+/// need frame stacks (see obs.h).
+void RecomputeSpanStack(internal::RuntimeState& s) {
+  s.span_stack.store(s.metrics.load(std::memory_order_relaxed) ||
+                         s.trace.load(std::memory_order_relaxed) ||
+                         s.profile.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
 }  // namespace
 
 namespace internal {
@@ -77,12 +89,26 @@ RuntimeState& State() {
       std::lock_guard<std::mutex> lock(Paths().mu);
       Paths().jsonl_path = jsonl;
     }
+    const char* profile = std::getenv("ADAFGL_PROFILE");
+    const bool profile_on = profile != nullptr && profile[0] != '\0';
+    s->profile.store(profile_on, std::memory_order_relaxed);
+    if (profile_on) {
+      std::lock_guard<std::mutex> lock(Paths().mu);
+      Paths().profile_path = profile;
+    }
+    const char* hz = std::getenv("ADAFGL_PROFILE_HZ");
+    if (hz != nullptr && hz[0] != '\0') {
+      prof::SetProfileHz(std::atoi(hz));
+    }
+    RecomputeSpanStack(*s);
     // Knobs turned on by the environment need the exit flush too (the
     // runtime setters register it themselves). No Paths() lock is held
     // here.
-    if (s->metrics.load(std::memory_order_relaxed) || trace_on || jsonl_on) {
+    if (s->metrics.load(std::memory_order_relaxed) || trace_on || jsonl_on ||
+        profile_on) {
       RegisterAtexitFlush();
     }
+    if (profile_on) prof::StartSampler();
     return s;
   }();
   return *state;
@@ -91,12 +117,23 @@ RuntimeState& State() {
 }  // namespace internal
 
 void SetMetricsEnabled(bool on) {
-  internal::State().metrics.store(on, std::memory_order_relaxed);
+  internal::RuntimeState& s = internal::State();
+  s.metrics.store(on, std::memory_order_relaxed);
+  RecomputeSpanStack(s);
   if (on) RegisterAtexitFlush();
 }
 
 void SetTraceEnabled(bool on) {
-  internal::State().trace.store(on, std::memory_order_relaxed);
+  internal::RuntimeState& s = internal::State();
+  s.trace.store(on, std::memory_order_relaxed);
+  RecomputeSpanStack(s);
+  if (on) RegisterAtexitFlush();
+}
+
+void SetProfileEnabled(bool on) {
+  internal::RuntimeState& s = internal::State();
+  s.profile.store(on, std::memory_order_relaxed);
+  RecomputeSpanStack(s);
   if (on) RegisterAtexitFlush();
 }
 
@@ -133,6 +170,18 @@ void SetJsonlPath(std::string path) {
   if (enabled) RegisterAtexitFlush();
 }
 
+void SetProfilePath(std::string path) {
+  internal::State();
+  std::lock_guard<std::mutex> lock(Paths().mu);
+  Paths().profile_path = std::move(path);
+}
+
+std::string ProfilePath() {
+  internal::State();
+  std::lock_guard<std::mutex> lock(Paths().mu);
+  return Paths().profile_path;
+}
+
 int64_t NowNs() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point epoch = Clock::now();
@@ -142,16 +191,21 @@ int64_t NowNs() {
 }
 
 void Flush() {
+  if (ProfileEnabled()) {
+    prof::StopSamplerAndWrite();
+  }
   const std::string trace_path = TracePath();
   if (TraceEnabled() && !trace_path.empty()) {
     WriteChromeTrace(trace_path);
     const std::string summary = PhaseSummaryText();
     if (!summary.empty()) {
-      std::fprintf(stderr, "[adafgl] phase summary (span count total_ms):\n%s",
+      std::fprintf(stderr,
+                   "[adafgl] phase summary (span count total_ms peak_mem):\n%s",
                    summary.c_str());
     }
   }
   if (MetricsEnabled()) {
+    mem::PublishGauges();
     MetricsRegistry::Global().WriteSummary(stderr);
   }
   internal::FlushJsonlSink();

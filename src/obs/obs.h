@@ -18,6 +18,10 @@ namespace adafgl::obs {
 ///   ADAFGL_LOG_LEVEL=warn      stderr log threshold:
 ///                              off|error|warn|info|debug (default warn)
 ///   ADAFGL_LOG_JSONL=ev.jsonl  append structured events as JSON lines
+///   ADAFGL_PROFILE=out.folded  enable the sampling profiler; folded
+///                              stacks (flamegraph.pl input) are written
+///                              to the given path at exit
+///   ADAFGL_PROFILE_HZ=97       sampler frequency (default 97 Hz)
 ///
 /// The disabled path is a single relaxed atomic load behind a function
 /// call — bench/micro_obs.cc pins it below 5 ns/op. All setters may be
@@ -39,6 +43,11 @@ namespace internal {
 struct RuntimeState {
   std::atomic<bool> metrics{false};
   std::atomic<bool> trace{false};
+  std::atomic<bool> profile{false};
+  /// Derived: metrics || trace || profile. The single load obs::Span and
+  /// prof::KernelFrame gate on, so the all-off hot path stays one relaxed
+  /// read. Recomputed by every setter.
+  std::atomic<bool> span_stack{false};
   std::atomic<int> log_level{static_cast<int>(LogLevel::kWarn)};
 };
 
@@ -54,6 +63,17 @@ inline bool TraceEnabled() {
   return internal::State().trace.load(std::memory_order_relaxed);
 }
 
+inline bool ProfileEnabled() {
+  return internal::State().profile.load(std::memory_order_relaxed);
+}
+
+/// True when spans must maintain the per-thread frame stack (profiler
+/// samples and memory attribution read it): any of metrics, trace, or
+/// profile on.
+inline bool SpanStackEnabled() {
+  return internal::State().span_stack.load(std::memory_order_relaxed);
+}
+
 inline bool LogEnabled(LogLevel level) {
   return static_cast<int>(level) <=
          internal::State().log_level.load(std::memory_order_relaxed);
@@ -62,6 +82,9 @@ inline bool LogEnabled(LogLevel level) {
 /// Runtime overrides of the environment knobs.
 void SetMetricsEnabled(bool on);
 void SetTraceEnabled(bool on);
+/// Flips the sampler switch; StartSampler/StopSamplerAndWrite (obs/prof.h)
+/// control the background thread itself.
+void SetProfileEnabled(bool on);
 void SetLogLevel(LogLevel level);
 /// Where the Chrome trace goes at Flush; empty keeps tracing in memory.
 void SetTracePath(std::string path);
@@ -69,6 +92,9 @@ std::string TracePath();
 /// Path of the JSONL event sink; empty string closes/disables it.
 void SetJsonlPath(std::string path);
 std::string JsonlPath();
+/// Where the folded-stack profile goes at Flush.
+void SetProfilePath(std::string path);
+std::string ProfilePath();
 
 /// Nanoseconds since the (lazily pinned) process trace epoch; monotonic.
 int64_t NowNs();

@@ -1,0 +1,274 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace adafgl::obs::prof {
+
+namespace {
+
+/// Registry of live thread stacks plus the sampler's state. The tick
+/// tables are written only by the sampler thread while it runs and read
+/// only after the join in StopSamplerAndWrite, so they need no lock of
+/// their own.
+struct ProfStore {
+  std::mutex mu;  // Guards `stacks` / `next_tid`.
+  std::vector<internal::ThreadStack*> stacks;
+  int next_tid = 1;
+
+  std::mutex control_mu;  // Serialises Start/Stop.
+  std::thread sampler;
+  std::atomic<bool> running{false};
+  std::atomic<int> hz{97};
+
+  std::unordered_map<std::string, int64_t> folded;
+  std::atomic<int64_t> sampled_ticks{0};
+  std::atomic<int64_t> idle_ticks{0};
+};
+
+ProfStore& Store() {
+  static ProfStore* store = new ProfStore;  // Leaked: see obs.cc.
+  return *store;
+}
+
+/// Process-lifetime intern table for dynamic span names.
+struct InternTable {
+  std::mutex mu;
+  std::unordered_set<std::string> names;
+};
+
+InternTable& Interns() {
+  static InternTable* table = new InternTable;  // Leaked: see obs.cc.
+  return *table;
+}
+
+/// Takes one sample of every registered stack.
+void SampleOnce(ProfStore& s) {
+  std::string key;
+  bool any = false;
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (internal::ThreadStack* stack : s.stacks) {
+    int d = stack->depth.load(std::memory_order_acquire);
+    if (d <= 0) continue;
+    d = std::min(d, kMaxStackDepth);
+    key.clear();
+    for (int i = 0; i < d; ++i) {
+      const char* frame = stack->frames[i].load(std::memory_order_relaxed);
+      if (frame == nullptr) continue;  // Torn sample; skip the slot.
+      if (!key.empty()) key += ';';
+      key += frame;
+    }
+    if (key.empty()) continue;
+    ++s.folded[key];
+    s.sampled_ticks.fetch_add(1, std::memory_order_relaxed);
+    any = true;
+  }
+  if (!any) s.idle_ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SamplerLoop() {
+  ProfStore& s = Store();
+  while (s.running.load(std::memory_order_acquire)) {
+    const int hz = std::max(1, s.hz.load(std::memory_order_relaxed));
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(1'000'000'000LL / hz));
+    if (!s.running.load(std::memory_order_acquire)) break;
+    SampleOnce(s);
+  }
+}
+
+/// Splits a folded key into frames.
+std::vector<std::string> SplitFrames(const std::string& key) {
+  std::vector<std::string> frames;
+  size_t start = 0;
+  while (start <= key.size()) {
+    const size_t sep = key.find(';', start);
+    if (sep == std::string::npos) {
+      frames.push_back(key.substr(start));
+      break;
+    }
+    frames.push_back(key.substr(start, sep - start));
+    start = sep + 1;
+  }
+  return frames;
+}
+
+}  // namespace
+
+namespace internal {
+
+ThreadStack::ThreadStack() {
+  for (auto& f : frames) f.store(nullptr, std::memory_order_relaxed);
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  tid = s.next_tid++;
+  s.stacks.push_back(this);
+}
+
+ThreadStack::~ThreadStack() {
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stacks.erase(std::remove(s.stacks.begin(), s.stacks.end(), this),
+                 s.stacks.end());
+}
+
+ThreadStack& LocalStack() {
+  thread_local ThreadStack stack;
+  return stack;
+}
+
+}  // namespace internal
+
+const char* InternName(const std::string& name) {
+  // One-entry per-thread cache: dynamic span names at a given call site
+  // rarely change between consecutive spans (e.g. "run.FedGCN" across
+  // seeds), so most interns are a string compare.
+  thread_local std::string cached_name;
+  thread_local const char* cached_ptr = nullptr;
+  if (cached_ptr != nullptr && cached_name == name) return cached_ptr;
+  InternTable& t = Interns();
+  const char* interned;
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    interned = t.names.insert(name).first->c_str();
+  }
+  cached_name = name;
+  cached_ptr = interned;
+  return interned;
+}
+
+void SetProfileHz(int hz) {
+  Store().hz.store(hz > 0 ? hz : 97, std::memory_order_relaxed);
+}
+
+int ProfileHz() { return Store().hz.load(std::memory_order_relaxed); }
+
+void StartSampler() {
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.control_mu);
+  if (s.running.load(std::memory_order_relaxed)) return;
+  s.running.store(true, std::memory_order_release);
+  s.sampler = std::thread(SamplerLoop);
+}
+
+int64_t SampledTicks() {
+  return Store().sampled_ticks.load(std::memory_order_relaxed);
+}
+
+int64_t IdleTicks() {
+  return Store().idle_ticks.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, int64_t> FoldedTicksForTest() {
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.control_mu);
+  return {s.folded.begin(), s.folded.end()};
+}
+
+std::string FoldedText() {
+  ProfStore& s = Store();
+  // Name-sorted for deterministic output.
+  std::map<std::string, int64_t> sorted(s.folded.begin(), s.folded.end());
+  std::string out;
+  char line[512];
+  for (const auto& [key, ticks] : sorted) {
+    std::snprintf(line, sizeof(line), "%s %lld\n", key.c_str(),
+                  static_cast<long long>(ticks));
+    out += line;
+  }
+  return out;
+}
+
+std::string ReportText(int n) {
+  ProfStore& s = Store();
+  const int64_t total = s.sampled_ticks.load(std::memory_order_relaxed);
+  if (total == 0) return "";
+  // self = ticks where the frame is innermost; total = ticks where it is
+  // anywhere on the stack (deduplicated per sample).
+  std::unordered_map<std::string, int64_t> self_ticks, total_ticks;
+  for (const auto& [key, ticks] : s.folded) {
+    const std::vector<std::string> frames = SplitFrames(key);
+    if (frames.empty()) continue;
+    self_ticks[frames.back()] += ticks;
+    std::unordered_set<std::string> seen;
+    for (const std::string& f : frames) {
+      if (seen.insert(f).second) total_ticks[f] += ticks;
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> rows(self_ticks.begin(),
+                                                    self_ticks.end());
+  for (const auto& [frame, t] : total_ticks) {
+    if (self_ticks.find(frame) == self_ticks.end()) rows.emplace_back(frame, 0);
+  }
+  std::sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "  %6s %6s  %s\n", "self%", "total%",
+                "frame");
+  out += line;
+  const int limit = std::min<int>(n, static_cast<int>(rows.size()));
+  for (int i = 0; i < limit; ++i) {
+    const auto& [frame, self] = rows[i];
+    std::snprintf(line, sizeof(line), "  %6.1f %6.1f  %s\n",
+                  100.0 * static_cast<double>(self) /
+                      static_cast<double>(total),
+                  100.0 * static_cast<double>(total_ticks[frame]) /
+                      static_cast<double>(total),
+                  frame.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void StopSamplerAndWrite() {
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.control_mu);
+  if (s.running.load(std::memory_order_relaxed)) {
+    s.running.store(false, std::memory_order_release);
+    if (s.sampler.joinable()) s.sampler.join();
+  }
+  const int64_t total = s.sampled_ticks.load(std::memory_order_relaxed);
+  const int64_t idle = s.idle_ticks.load(std::memory_order_relaxed);
+  const std::string path = ProfilePath();
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      Logf(LogLevel::kError, "cannot write profile to %s", path.c_str());
+    } else {
+      const std::string folded = FoldedText();
+      std::fwrite(folded.data(), 1, folded.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (total + idle > 0) {
+    std::fprintf(stderr,
+                 "[adafgl] profile: %lld in-span samples, %lld idle @%d Hz"
+                 "%s%s\n",
+                 static_cast<long long>(total), static_cast<long long>(idle),
+                 ProfileHz(), path.empty() ? "" : ", folded stacks -> ",
+                 path.c_str());
+    const std::string report = ReportText(15);
+    if (!report.empty()) std::fprintf(stderr, "%s", report.c_str());
+  }
+}
+
+void ResetProfilerForTest() {
+  ProfStore& s = Store();
+  std::lock_guard<std::mutex> lock(s.control_mu);
+  s.folded.clear();
+  s.sampled_ticks.store(0, std::memory_order_relaxed);
+  s.idle_ticks.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adafgl::obs::prof

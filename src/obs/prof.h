@@ -1,0 +1,149 @@
+#ifndef ADAFGL_OBS_PROF_H_
+#define ADAFGL_OBS_PROF_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace adafgl::obs::prof {
+
+/// \brief Live span stacks + sampling profiler.
+///
+/// Every obs::Span (and every prof::KernelFrame) pushes its name onto a
+/// per-thread stack of interned `const char*` frames while the span-stack
+/// switch is on (tracing, metrics, or profiling enabled — see
+/// obs::SpanStackEnabled()). Two consumers read the stacks:
+///
+///  * the memory accountant (obs/mem.h) attributes allocations to the
+///    innermost active frame;
+///  * the sampling profiler — a background thread woken ADAFGL_PROFILE_HZ
+///    times per second (default 97, a prime so it cannot lock onto
+///    periodic work) that snapshots every registered thread's stack.
+///
+/// At exit (obs::Flush) the profiler writes flamegraph.pl-compatible
+/// folded stacks ("frame;frame;frame <ticks>" lines) to the
+/// ADAFGL_PROFILE=<path> file and prints a top-N self/total-time report
+/// to stderr.
+///
+/// Thread safety: stack slots and depths are relaxed/acquire-release
+/// atomics; frame pointers are string literals or pointers interned for
+/// the life of the process, so the sampler can read them at any time. A
+/// sample racing a push/pop may see a stack that is one frame stale —
+/// acceptable for a statistical profiler, and clean under tsan.
+
+/// Deepest stack the sampler can see; pushes beyond it still balance
+/// their pops but are invisible to samples.
+inline constexpr int kMaxStackDepth = 64;
+
+namespace internal {
+
+/// One thread's active-span stack, registered with the sampler for the
+/// life of the thread.
+struct ThreadStack {
+  std::atomic<const char*> frames[kMaxStackDepth];
+  /// Logical depth; may exceed kMaxStackDepth (overflow frames are not
+  /// stored). release-stored so a sampler's acquire load of `depth` also
+  /// sees the frames below it.
+  std::atomic<int> depth{0};
+  int tid = 0;
+
+  ThreadStack();
+  ~ThreadStack();
+};
+
+ThreadStack& LocalStack();
+
+}  // namespace internal
+
+/// Interns `name` into a process-lifetime string table and returns a
+/// stable pointer. Literals can be pushed directly; only dynamic names
+/// need interning. Lookups are cached per thread.
+const char* InternName(const std::string& name);
+
+/// Pushes an interned/static frame name onto this thread's stack.
+inline void PushFrame(const char* interned_name) {
+  internal::ThreadStack& s = internal::LocalStack();
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d < kMaxStackDepth) {
+    s.frames[d].store(interned_name, std::memory_order_relaxed);
+  }
+  s.depth.store(d + 1, std::memory_order_release);
+}
+
+/// Pops the innermost frame (push/pop always balance, even on overflow).
+inline void PopFrame() {
+  internal::ThreadStack& s = internal::LocalStack();
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d > 0) s.depth.store(d - 1, std::memory_order_release);
+}
+
+/// Innermost active frame of the calling thread, or nullptr outside any
+/// span — the attribution key of the memory accountant.
+inline const char* CurrentFrame() {
+  internal::ThreadStack& s = internal::LocalStack();
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d <= 0) return nullptr;
+  const int top = d <= kMaxStackDepth ? d - 1 : kMaxStackDepth - 1;
+  return s.frames[top].load(std::memory_order_relaxed);
+}
+
+/// \brief Stack-only RAII frame for hot kernels (SpMM, MatMul).
+///
+/// Unlike obs::Span it never records a trace event, so a million kernel
+/// calls cost nothing in the trace buffer yet still show up in profiles
+/// and memory attribution. Disabled path: one relaxed load.
+class KernelFrame {
+ public:
+  explicit KernelFrame(const char* literal_name) {
+    if (SpanStackEnabled()) {
+      PushFrame(literal_name);
+      pushed_ = true;
+    }
+  }
+  ~KernelFrame() {
+    if (pushed_) PopFrame();
+  }
+  KernelFrame(const KernelFrame&) = delete;
+  KernelFrame& operator=(const KernelFrame&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// Starts the background sampler (idempotent). Normally driven by
+/// ADAFGL_PROFILE; tests call it directly after SetProfilePath.
+void StartSampler();
+
+/// Stops the sampler, writes the folded-stack file to ProfilePath() and
+/// the top-N report to stderr. Safe to call repeatedly; obs::Flush calls
+/// it when profiling is on.
+void StopSamplerAndWrite();
+
+/// Sampling frequency (ADAFGL_PROFILE_HZ, default 97). Takes effect at
+/// the next StartSampler.
+void SetProfileHz(int hz);
+int ProfileHz();
+
+/// Snapshot of the folded tick table: "a;b;c" -> ticks. Tests only
+/// (requires the sampler to be stopped).
+std::map<std::string, int64_t> FoldedTicksForTest();
+
+/// Total samples taken that landed inside at least one span.
+int64_t SampledTicks();
+/// Samples taken while no registered thread had an open span.
+int64_t IdleTicks();
+
+/// Renders the folded-stack document ("frame;frame <ticks>\n" per stack).
+std::string FoldedText();
+
+/// Renders the top-`n` self/total report printed to stderr at exit.
+std::string ReportText(int n);
+
+/// Clears tick tables and counters (sampler must be stopped). Tests only.
+void ResetProfilerForTest();
+
+}  // namespace adafgl::obs::prof
+
+#endif  // ADAFGL_OBS_PROF_H_

@@ -8,29 +8,34 @@
 
 #include "obs/json.h"
 #include "obs/log.h"
+#include "obs/mem.h"
+#include "obs/registry.h"
 
 namespace adafgl::obs {
 
 namespace {
 
-/// One finished span. `name` points into the caller's literal when
-/// `owned_name` is empty.
+/// One finished span. `name` is a string literal or a pointer interned by
+/// prof::InternName, so it outlives every buffer.
 struct TraceEvent {
   const char* name = nullptr;
-  std::string owned_name;
   int64_t start_ns = 0;
   int64_t end_ns = 0;
-
-  const char* Name() const {
-    return owned_name.empty() ? name : owned_name.c_str();
-  }
 };
 
 /// Cap per thread so a span-happy loop cannot eat unbounded memory (the
-/// drop tally makes the truncation visible).
-constexpr size_t kMaxEventsPerThread = 1 << 20;
+/// drop tally makes the truncation visible). Test-overridable.
+std::atomic<int64_t> g_max_events{1 << 20};
 
 std::atomic<int64_t> g_dropped{0};
+
+/// Mirrors g_dropped into the registry so truncation shows up in
+/// SummaryText() next to everything else.
+void CountDroppedSpan() {
+  static Counter* const dropped =
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans");
+  dropped->Inc();
+}
 
 struct ThreadBuffer;
 
@@ -91,29 +96,52 @@ std::vector<std::pair<int, TraceEvent>> SnapshotEvents() {
 
 }  // namespace
 
+void Span::BeginLiteral(const char* literal_name) {
+  name_ = literal_name;
+  prof::PushFrame(name_);
+  pushed_ = true;
+  if (TraceEnabled()) {
+    record_ = true;
+    start_ns_ = NowNs();
+  }
+  active_ = true;
+}
+
+void Span::BeginDynamic(const std::string& name) {
+  BeginLiteral(prof::InternName(name));
+}
+
 void Span::Finish() {
-  ThreadBuffer& buf = LocalBuffer();
-  if (buf.events.size() >= kMaxEventsPerThread) {
-    g_dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (record_) {
+    ThreadBuffer& buf = LocalBuffer();
+    if (static_cast<int64_t>(buf.events.size()) >=
+        g_max_events.load(std::memory_order_relaxed)) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      CountDroppedSpan();
+    } else {
+      TraceEvent e;
+      e.name = name_;
+      e.start_ns = start_ns_;
+      e.end_ns = NowNs();
+      buf.events.push_back(e);
+    }
   }
-  TraceEvent e;
-  if (lit_ != nullptr) {
-    e.name = lit_;
-  } else {
-    e.owned_name = std::move(name_);
-  }
-  e.start_ns = start_ns_;
-  e.end_ns = NowNs();
-  buf.events.push_back(std::move(e));
+  if (pushed_) prof::PopFrame();
 }
 
 std::map<std::string, PhaseStat> PhaseSummary() {
   std::map<std::string, PhaseStat> out;
   for (const auto& [tid, e] : SnapshotEvents()) {
-    PhaseStat& stat = out[e.Name()];
+    PhaseStat& stat = out[e.name];
     ++stat.count;
     stat.total_ns += e.end_ns - e.start_ns;
+  }
+  // Join the memory accountant's per-span peaks (metrics on); spans that
+  // allocated but never produced a trace event (e.g. prof::KernelFrame
+  // regions) appear with count 0.
+  for (const auto& [name, snap] : mem::PerSpanSnapshot()) {
+    if (snap.peak_bytes == 0) continue;
+    out[name].peak_bytes = snap.peak_bytes;
   }
   return out;
 }
@@ -122,9 +150,10 @@ std::string PhaseSummaryText() {
   std::string out;
   char line[256];
   for (const auto& [name, stat] : PhaseSummary()) {
-    std::snprintf(line, sizeof(line), "  %-32s %8lld %12.3f\n", name.c_str(),
-                  static_cast<long long>(stat.count),
-                  static_cast<double>(stat.total_ns) / 1e6);
+    std::snprintf(line, sizeof(line), "  %-32s %8lld %12.3f %10.2fMiB\n",
+                  name.c_str(), static_cast<long long>(stat.count),
+                  static_cast<double>(stat.total_ns) / 1e6,
+                  static_cast<double>(stat.peak_bytes) / (1024.0 * 1024.0));
     out += line;
   }
   return out;
@@ -132,6 +161,13 @@ std::string PhaseSummaryText() {
 
 bool WriteChromeTrace(const std::string& path) {
   std::vector<std::pair<int, TraceEvent>> events = SnapshotEvents();
+  const int64_t dropped = DroppedSpanCount();
+  if (dropped > 0) {
+    Logf(LogLevel::kWarn,
+         "trace is truncated: %lld spans dropped at the per-thread buffer "
+         "cap (see otherData.dropped_spans in %s)",
+         static_cast<long long>(dropped), path.c_str());
+  }
   // chrome://tracing requires duration ("B"/"E") events sorted by
   // timestamp within the file to nest correctly.
   struct Entry {
@@ -160,7 +196,7 @@ bool WriteChromeTrace(const std::string& path) {
   for (const Entry& entry : entries) {
     w.BeginObject();
     w.Key("name");
-    w.String(entry.event->Name());
+    w.String(entry.event->name);
     w.Key("ph");
     w.String(std::string(1, entry.phase));
     w.Key("ts");
@@ -176,6 +212,13 @@ bool WriteChromeTrace(const std::string& path) {
   w.EndArray();
   w.Key("displayTimeUnit");
   w.String("ms");
+  if (dropped > 0) {
+    w.Key("otherData");
+    w.BeginObject();
+    w.Key("dropped_spans");
+    w.Int(dropped);
+    w.EndObject();
+  }
   w.EndObject();
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -193,6 +236,14 @@ bool WriteChromeTrace(const std::string& path) {
 int64_t DroppedSpanCount() {
   return g_dropped.load(std::memory_order_relaxed);
 }
+
+namespace internal {
+
+void SetTraceCapForTest(int64_t cap) {
+  g_max_events.store(cap > 0 ? cap : (1 << 20), std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 void ResetTraceForTest() {
   TraceStore& s = Store();

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "obs/obs.h"
+#include "obs/prof.h"
 
 namespace adafgl::obs {
 
@@ -15,63 +18,88 @@ namespace adafgl::obs {
 /// constructor stamps a start time and the destructor appends one event to
 /// a per-thread buffer — no locks, no allocation beyond the buffer's
 /// amortised growth, and nested spans nest naturally in the export. When
-/// tracing is disabled the constructor is a single relaxed load and the
-/// destructor a branch.
+/// the profiler or metrics are on, the span also pushes its name onto the
+/// per-thread frame stack (obs/prof.h) so the sampler and the memory
+/// accountant can attribute work to it. When every knob is off the
+/// constructor is a single relaxed load and the destructor a branch.
 ///
 ///   { obs::Span span("fed.round"); ... }   // literal, zero-copy
-///   { obs::Span span(std::string("run.") + algo); ... }
+///   { obs::Span span([&] { return "run." + algo; }); ... }  // lazy name
+///
+/// Prefer the lazy (callable) form for dynamic names: the string is only
+/// built when a knob is on, so disabled runs allocate nothing.
 class Span {
  public:
   explicit Span(const char* literal_name) {
-    if (TraceEnabled()) {
-      lit_ = literal_name;
-      start_ns_ = NowNs();
-      active_ = true;
-    }
+    if (SpanStackEnabled()) BeginLiteral(literal_name);
   }
   explicit Span(const std::string& name) {
-    if (TraceEnabled()) {
-      name_ = name;
-      start_ns_ = NowNs();
-      active_ = true;
-    }
+    if (SpanStackEnabled()) BeginDynamic(name);
   }
-  ~Span() { if (active_) Finish(); }
+  /// Lazy-name overload: `name_fn` runs only when a knob is on.
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_v<Fn&> &&
+                                 !std::is_convertible_v<Fn, const char*> &&
+                                 !std::is_convertible_v<Fn, std::string>,
+                             int> = 0>
+  explicit Span(Fn&& name_fn) {
+    if (SpanStackEnabled()) BeginDynamic(name_fn());
+  }
+  ~Span() {
+    if (active_) Finish();
+  }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  void BeginLiteral(const char* literal_name);
+  void BeginDynamic(const std::string& name);
   void Finish();
 
-  bool active_ = false;
+  bool active_ = false;   // Anything to undo in the destructor.
+  bool record_ = false;   // A trace event is pending.
+  bool pushed_ = false;   // A stack frame is pending.
   int64_t start_ns_ = 0;
-  const char* lit_ = nullptr;  // Static-literal fast path.
-  std::string name_;           // Dynamic names (copied).
+  /// Interned/static span name — stack frame and trace-event label.
+  const char* name_ = nullptr;
 };
 
 /// Span under its historical name — some call sites read better as timers.
 using ScopedTimer = Span;
 
-/// Aggregated time per span name across every thread so far.
+/// Aggregated time (and attributed peak tensor memory, when metrics are
+/// on — see obs/mem.h) per span name across every thread so far.
 struct PhaseStat {
   int64_t count = 0;
   int64_t total_ns = 0;
+  /// Peak live bytes of tensor buffers allocated while this span was the
+  /// innermost active frame; 0 when metrics are off.
+  int64_t peak_bytes = 0;
 };
 std::map<std::string, PhaseStat> PhaseSummary();
 
-/// Flat text rendering of PhaseSummary() — one "<name> <count> <total_ms>"
-/// line per phase, name-sorted.
+/// Flat text rendering of PhaseSummary() — one
+/// "<name> <count> <total_ms> <peak_mib>" line per phase, name-sorted.
 std::string PhaseSummaryText();
 
 /// Writes every recorded span as Chrome `trace_event` JSON ("B"/"E" pairs,
-/// microsecond timestamps) loadable in chrome://tracing / Perfetto.
-/// Returns false (and logs) when the file cannot be written.
+/// microsecond timestamps) loadable in chrome://tracing / Perfetto. When
+/// spans were dropped (buffer cap), logs a warning and records the count
+/// in the document's "otherData". Returns false (and logs) when the file
+/// cannot be written.
 bool WriteChromeTrace(const std::string& path);
 
 /// Number of spans discarded because a thread exceeded its buffer cap
-/// (kMaxEventsPerThread); non-zero means the trace is truncated.
+/// (kMaxEventsPerThread); non-zero means the trace is truncated. Also
+/// mirrored in the obs.trace.dropped_spans counter.
 int64_t DroppedSpanCount();
+
+namespace internal {
+/// Overrides the per-thread event-buffer cap (default 1 << 20) so tests
+/// can exercise the overflow path without recording a million spans.
+void SetTraceCapForTest(int64_t cap);
+}  // namespace internal
 
 /// Discards all recorded spans and the drop tally. Tests only.
 void ResetTraceForTest();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof.h"
 #include "obs/registry.h"
 
 namespace adafgl {
@@ -48,6 +49,7 @@ CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
   }
   for (size_t r = 1; r < counts.size(); ++r) counts[r] += counts[r - 1];
   m.indptr_ = std::move(counts);
+  m.mem_.Track(m.BufferBytes());  // Buffers grew after construction.
   return m;
 }
 
@@ -60,6 +62,7 @@ bool CsrMatrix::HasEntry(int32_t r, int32_t c) const {
 
 Matrix CsrMatrix::Multiply(const Matrix& x) const {
   ADAFGL_CHECK(cols_ == x.rows());
+  obs::prof::KernelFrame frame("tensor.spmm");
   if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(rows_, x.cols());
   const int64_t d = x.cols();
@@ -77,6 +80,7 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
 
 Matrix CsrMatrix::MultiplyTranspose(const Matrix& x) const {
   ADAFGL_CHECK(rows_ == x.rows());
+  obs::prof::KernelFrame frame("tensor.spmm");
   if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(cols_, x.cols());
   const int64_t d = x.cols();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/mem.h"
 #include "tensor/matrix.h"
 #include "tensor/status.h"
 
@@ -20,15 +21,39 @@ struct Triplet {
 ///
 /// The workhorse for graph adjacency and all propagation operators. Rows and
 /// column indices are int32 (graphs in this library are < 2^31 nodes);
-/// indptr is int64 to allow > 2^31 non-zeros in principle.
+/// indptr is int64 to allow > 2^31 non-zeros in principle. Like Matrix,
+/// buffer footprints are reported to the memory accountant (obs/mem.h)
+/// when ADAFGL_METRICS=1.
 class CsrMatrix {
  public:
-  CsrMatrix() : rows_(0), cols_(0) { indptr_.push_back(0); }
+  CsrMatrix() : rows_(0), cols_(0) {
+    indptr_.push_back(0);
+    mem_.Track(BufferBytes());
+  }
 
   /// An empty (all-zero) matrix of the given shape.
   CsrMatrix(int32_t rows, int32_t cols)
       : rows_(rows), cols_(cols),
-        indptr_(static_cast<size_t>(rows) + 1, 0) {}
+        indptr_(static_cast<size_t>(rows) + 1, 0) {
+    mem_.Track(BufferBytes());
+  }
+
+  CsrMatrix(const CsrMatrix& o)
+      : rows_(o.rows_), cols_(o.cols_), indptr_(o.indptr_),
+        indices_(o.indices_), values_(o.values_) {
+    mem_.Track(BufferBytes());
+  }
+  CsrMatrix& operator=(const CsrMatrix& o) {
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    indptr_ = o.indptr_;
+    indices_ = o.indices_;
+    values_ = o.values_;
+    mem_.Track(BufferBytes());
+    return *this;
+  }
+  CsrMatrix(CsrMatrix&&) = default;
+  CsrMatrix& operator=(CsrMatrix&&) = default;
 
   /// Builds from unsorted triplets; duplicate (row, col) values are summed.
   static CsrMatrix FromTriplets(int32_t rows, int32_t cols,
@@ -86,11 +111,18 @@ class CsrMatrix {
   CsrMatrix Normalized(float r) const;
 
  private:
+  int64_t BufferBytes() const {
+    return static_cast<int64_t>(indptr_.capacity() * sizeof(int64_t) +
+                                indices_.capacity() * sizeof(int32_t) +
+                                values_.capacity() * sizeof(float));
+  }
+
   int32_t rows_;
   int32_t cols_;
   std::vector<int64_t> indptr_;
   std::vector<int32_t> indices_;
   std::vector<float> values_;
+  obs::mem::AllocHandle mem_;
 };
 
 /// Builds a CSR from an undirected edge list: every {u, v} pair is inserted

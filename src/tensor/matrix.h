@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/mem.h"
 #include "tensor/rng.h"
 #include "tensor/status.h"
 
@@ -17,6 +18,12 @@ namespace adafgl {
 /// model weights, probability/propagation matrices, gradients. Kept
 /// deliberately simple — shape + flat buffer — with all numerical kernels as
 /// free functions in matrix_ops.h so they are individually testable.
+///
+/// Every buffer (re)allocation reports its footprint to the memory
+/// accountant (obs/mem.h) — live/peak bytes and alloc counts, attributed
+/// to the innermost active span when ADAFGL_METRICS=1; a no-op branch
+/// otherwise. Moves transfer the registration with the buffer; copies
+/// register their own.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -24,14 +31,25 @@ class Matrix {
       : rows_(rows), cols_(cols),
         data_(static_cast<size_t>(rows * cols), 0.0f) {
     ADAFGL_CHECK(rows >= 0 && cols >= 0);
+    mem_.Track(BufferBytes());
   }
   Matrix(int64_t rows, int64_t cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     ADAFGL_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+    mem_.Track(BufferBytes());
   }
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
+  Matrix(const Matrix& o)
+      : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+    mem_.Track(BufferBytes());
+  }
+  Matrix& operator=(const Matrix& o) {
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_ = o.data_;
+    mem_.Track(BufferBytes());
+    return *this;
+  }
   Matrix(Matrix&&) = default;
   Matrix& operator=(Matrix&&) = default;
 
@@ -106,9 +124,14 @@ class Matrix {
   }
 
  private:
+  int64_t BufferBytes() const {
+    return static_cast<int64_t>(data_.capacity() * sizeof(float));
+  }
+
   int64_t rows_;
   int64_t cols_;
   std::vector<float> data_;
+  obs::mem::AllocHandle mem_;
 };
 
 }  // namespace adafgl

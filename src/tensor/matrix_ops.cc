@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof.h"
 #include "obs/registry.h"
 
 namespace adafgl {
@@ -25,6 +26,7 @@ inline void CountMatMul(int64_t m, int64_t k, int64_t n) {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.cols() == b.rows());
+  obs::prof::KernelFrame frame("tensor.matmul");
   if (obs::MetricsEnabled()) CountMatMul(a.rows(), a.cols(), b.cols());
   Matrix c(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -43,6 +45,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.rows() == b.rows());
+  obs::prof::KernelFrame frame("tensor.matmul");
   if (obs::MetricsEnabled()) CountMatMul(a.cols(), a.rows(), b.cols());
   Matrix c(a.cols(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();

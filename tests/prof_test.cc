@@ -1,0 +1,324 @@
+// Tests of the sampling profiler (obs/prof.h), the tensor memory
+// accountant (obs/mem.h), and the trace-buffer overflow path — the
+// PR 3 observability additions. Labeled `obs` so the tsan config vets
+// the cross-thread stack sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fed/federation.h"
+#include "fed/splits.h"
+#include "json_check.h"
+#include "obs/mem.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "tensor/matrix.h"
+#include "test_util.h"
+
+namespace adafgl::obs {
+namespace {
+
+using ::adafgl::testing::IsValidJson;
+using ::adafgl::testing::MakeSmallSbm;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override {
+    SetProfileEnabled(false);
+    SetProfilePath("");
+    Reset();
+  }
+  void Reset() {
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+    MetricsRegistry::Global().ResetForTest();
+    ResetTraceForTest();
+    prof::ResetProfilerForTest();
+    mem::ResetForTest();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Span stack.
+
+TEST_F(ProfTest, SpanPushesFrameWhenAnyKnobIsOn) {
+  EXPECT_EQ(prof::CurrentFrame(), nullptr);
+  SetMetricsEnabled(true);
+  {
+    Span outer("prof.outer");
+    EXPECT_STREQ(prof::CurrentFrame(), "prof.outer");
+    {
+      Span inner(std::string("prof.") + "dynamic");
+      EXPECT_STREQ(prof::CurrentFrame(), "prof.dynamic");
+      prof::KernelFrame kernel("prof.kernel");
+      EXPECT_STREQ(prof::CurrentFrame(), "prof.kernel");
+    }
+    EXPECT_STREQ(prof::CurrentFrame(), "prof.outer");
+  }
+  EXPECT_EQ(prof::CurrentFrame(), nullptr);
+}
+
+TEST_F(ProfTest, InternReturnsStablePointers) {
+  const char* a = prof::InternName("prof.intern.x");
+  const char* b = prof::InternName(std::string("prof.intern.") + "x");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "prof.intern.x");
+  EXPECT_NE(a, prof::InternName("prof.intern.y"));
+}
+
+TEST_F(ProfTest, StackOverflowBalancesPushesAndPops) {
+  SetMetricsEnabled(true);
+  std::vector<std::unique_ptr<Span>> spans;
+  for (int i = 0; i < prof::kMaxStackDepth + 8; ++i) {
+    spans.push_back(std::make_unique<Span>("prof.deep"));
+  }
+  EXPECT_STREQ(prof::CurrentFrame(), "prof.deep");
+  spans.clear();
+  EXPECT_EQ(prof::CurrentFrame(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Sampling profiler.
+
+TEST_F(ProfTest, ProfilerWritesValidFoldedStacksWithFullAttribution) {
+  // A real (small) federated workload under a fast sampler: the folded
+  // output must be flamegraph.pl-grammar text whose root frames cover
+  // >= 90% of the sampled ticks.
+  const std::string folded =
+      ::testing::TempDir() + "/adafgl_prof_test.folded";
+  std::remove(folded.c_str());
+  SetProfilePath(folded);
+  prof::SetProfileHz(4000);  // Fast so even a short run collects ticks.
+  SetProfileEnabled(true);
+  prof::StartSampler();
+  {
+    Span root("prof.test_root");
+    Graph g = MakeSmallSbm(160, 3, 0.85, 17);
+    Rng rng(18);
+    FederatedDataset data =
+        StructureNonIidSplit(g, 2, InjectionMode::kNone, 0.5, rng);
+    FedConfig cfg;
+    cfg.rounds = 3;
+    cfg.local_epochs = 2;
+    cfg.post_local_epochs = 1;
+    cfg.hidden = 32;
+    cfg.eval_every = 1;
+    cfg.seed = 5;
+    // Repeat the run until the sampler has enough ticks for a stable
+    // attribution check (one smoke run lasts only a few milliseconds).
+    for (int i = 0; i < 400 && prof::SampledTicks() < 80; ++i) {
+      RunFedAvg(data, cfg);
+    }
+  }
+  prof::StopSamplerAndWrite();
+  SetProfileEnabled(false);
+
+  const int64_t sampled = prof::SampledTicks();
+  ASSERT_GT(sampled, 20) << "sampler collected too few ticks to judge";
+
+  // Grammar: every line is "name(;name)* <count>", counts sum to the
+  // sampled total.
+  const std::string doc = ReadFile(folded);
+  ASSERT_FALSE(doc.empty());
+  std::istringstream lines(doc);
+  std::string line;
+  int64_t folded_total = 0;
+  int64_t rooted = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string stack = line.substr(0, space);
+    const std::string count_str = line.substr(space + 1);
+    ASSERT_FALSE(stack.empty()) << line;
+    ASSERT_FALSE(count_str.empty()) << line;
+    EXPECT_NE(stack.front(), ';') << line;
+    EXPECT_NE(stack.back(), ';') << line;
+    EXPECT_EQ(stack.find(";;"), std::string::npos) << line;
+    EXPECT_EQ(stack.find(' '), std::string::npos) << line;
+    for (char ch : count_str) {
+      ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(ch))) << line;
+    }
+    const int64_t count = std::stoll(count_str);
+    EXPECT_GT(count, 0) << line;
+    folded_total += count;
+    if (stack.rfind("prof.test_root", 0) == 0) rooted += count;
+  }
+  EXPECT_EQ(folded_total, sampled);
+  // Everything ran inside prof.test_root, so its frame must own >= 90%
+  // of the ticks (the margin absorbs samples racing span entry/exit).
+  EXPECT_GE(rooted, (sampled * 9) / 10)
+      << "rooted=" << rooted << " sampled=" << sampled << "\n" << doc;
+
+  // The self/total report renders and lists the root.
+  const std::string report = prof::ReportText(10);
+  EXPECT_NE(report.find("prof.test_root"), std::string::npos) << report;
+  std::remove(folded.c_str());
+}
+
+TEST_F(ProfTest, SamplerCountsIdleTicksWhenNoSpanIsOpen) {
+  prof::SetProfileHz(4000);
+  SetProfilePath(::testing::TempDir() + "/adafgl_prof_idle.folded");
+  SetProfileEnabled(true);
+  prof::StartSampler();
+  // Touch the local stack so this thread is registered, then stay idle.
+  { Span warm("prof.idle_warm"); }
+  while (prof::IdleTicks() + prof::SampledTicks() < 8) {
+  }
+  prof::StopSamplerAndWrite();
+  SetProfileEnabled(false);
+  EXPECT_GT(prof::IdleTicks(), 0);
+  std::remove((::testing::TempDir() + "/adafgl_prof_idle.folded").c_str());
+}
+
+// ---------------------------------------------------------------------
+// Memory accounting.
+
+TEST_F(ProfTest, MatrixLifecycleBalancesLivePeakAndAllocs) {
+  SetMetricsEnabled(true);
+  mem::ResetForTest();
+  const int64_t bytes0 = mem::LiveBytes();
+  {
+    Matrix a(64, 32);  // >= 64*32*4 bytes once tracked.
+    const int64_t one = mem::LiveBytes() - bytes0;
+    EXPECT_GE(one, 64 * 32 * 4);
+    Matrix b = a;  // Copy re-tracks its own buffer.
+    EXPECT_GE(mem::LiveBytes() - bytes0, 2 * one);
+    Matrix c = std::move(b);  // Move transfers, no new registration.
+    EXPECT_GE(mem::LiveBytes() - bytes0, 2 * one);
+    EXPECT_LE(mem::LiveBytes() - bytes0, 2 * one + 16);
+    EXPECT_GE(mem::PeakBytes(), mem::LiveBytes());
+    EXPECT_GE(mem::AllocCount(), 2);
+  }
+  EXPECT_EQ(mem::LiveBytes(), bytes0);       // All buffers released.
+  EXPECT_GE(mem::PeakBytes(), 2 * 64 * 32 * 4);  // Peak survives the frees.
+  mem::ResetPeakToLive();
+  EXPECT_EQ(mem::PeakBytes(), mem::LiveBytes());
+}
+
+TEST_F(ProfTest, AllocationsAttributeToInnermostSpan) {
+  SetMetricsEnabled(true);
+  mem::ResetForTest();
+  {
+    Span span("prof.mem_site");
+    Matrix a(32, 32);
+    Matrix b(16, 16);
+  }
+  const std::map<std::string, mem::Snapshot> per_span =
+      mem::PerSpanSnapshot();
+  ASSERT_TRUE(per_span.count("prof.mem_site"));
+  const mem::Snapshot& s = per_span.at("prof.mem_site");
+  EXPECT_GE(s.peak_bytes, 32 * 32 * 4 + 16 * 16 * 4);
+  EXPECT_GE(s.allocs, 2);
+  EXPECT_EQ(s.live_bytes, 0);  // Freed before the snapshot.
+
+  // The attribution joins PhaseSummary() under the span's name.
+  const std::map<std::string, PhaseStat> phases = PhaseSummary();
+  ASSERT_TRUE(phases.count("prof.mem_site"));
+  EXPECT_EQ(phases.at("prof.mem_site").peak_bytes, s.peak_bytes);
+}
+
+TEST_F(ProfTest, TrackingStaysBalancedWhenMetricsFlipMidLifetime) {
+  SetMetricsEnabled(false);
+  Matrix a(32, 32);  // Allocated unobserved.
+  SetMetricsEnabled(true);
+  mem::ResetForTest();
+  {
+    Matrix b = a;  // Tracked: metrics are on now.
+    EXPECT_GT(mem::LiveBytes(), 0);
+    SetMetricsEnabled(false);  // Knob flips while b is live...
+  }
+  // ...but b remembered its registration, so its free still balanced.
+  EXPECT_EQ(mem::LiveBytes(), 0);
+}
+
+TEST_F(ProfTest, PeakRssReadsProcStatus) {
+  // Linux CI: VmHWM must parse to something sane (> 1 MiB).
+  EXPECT_GT(mem::ReadPeakRssBytes(), 1 << 20);
+}
+
+TEST_F(ProfTest, PublishGaugesSurfacesAccountingInRegistry) {
+  SetMetricsEnabled(true);
+  mem::ResetForTest();
+  Matrix a(64, 64);
+  mem::PublishGauges();
+  const std::string summary = MetricsRegistry::Global().SummaryText();
+  EXPECT_NE(summary.find("tensor.mem.live_bytes"), std::string::npos);
+  EXPECT_NE(summary.find("tensor.mem.peak_bytes"), std::string::npos);
+  EXPECT_NE(summary.find("process.peak_rss_bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Trace buffer cap.
+
+TEST_F(ProfTest, TraceCapOverflowCountsDropsAndStaysValid) {
+  internal::SetTraceCapForTest(64);
+  SetTraceEnabled(true);
+  constexpr int kSpans = 200;
+  for (int i = 0; i < kSpans; ++i) {
+    Span span("prof.cap_span");
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(DroppedSpanCount(), kSpans - 64);
+  // Mirrored into the registry counter.
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans")->value(),
+      kSpans - 64);
+  // The truncated export is still valid JSON and carries the drop count.
+  const std::string path =
+      ::testing::TempDir() + "/adafgl_prof_cap_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  const std::string doc = ReadFile(path);
+  std::string err;
+  EXPECT_TRUE(IsValidJson(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_spans\":136"), std::string::npos);
+  // The kept events are intact.
+  size_t begins = 0, pos = 0;
+  while ((pos = doc.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  EXPECT_EQ(begins, 64u);
+  std::remove(path.c_str());
+  internal::SetTraceCapForTest(1 << 20);
+}
+
+TEST_F(ProfTest, PhaseSummaryTextIsNameSorted) {
+  SetTraceEnabled(true);
+  { Span z("zz.last"); }
+  { Span m("mm.middle"); }
+  { Span a("aa.first"); }
+  { Span m2("mm.middle"); }
+  SetTraceEnabled(false);
+  const std::string text = PhaseSummaryText();
+  const size_t pa = text.find("aa.first");
+  const size_t pm = text.find("mm.middle");
+  const size_t pz = text.find("zz.last");
+  ASSERT_NE(pa, std::string::npos) << text;
+  ASSERT_NE(pm, std::string::npos) << text;
+  ASSERT_NE(pz, std::string::npos) << text;
+  EXPECT_LT(pa, pm) << text;
+  EXPECT_LT(pm, pz) << text;
+}
+
+}  // namespace
+}  // namespace adafgl::obs

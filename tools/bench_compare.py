@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Diffs the two newest perf-trajectory files and gates regressions.
+
+Scans a directory (default: the repo root) for BENCH_<seq>.json files
+written by tools/bench_runner.sh, compares the highest-seq file (the
+candidate) against the second-highest (the baseline), and exits non-zero
+when any method regresses beyond the thresholds:
+
+  wall_seconds       > +10%   (ADAFGL_BENCH_WALL_TOL overrides, fraction)
+  peak_tensor_bytes  > +5%    (ADAFGL_BENCH_MEM_TOL overrides, fraction)
+
+Methods present in only one file are reported but never fail the gate
+(new benches come and go). With fewer than two trajectory files the gate
+passes trivially — there is nothing to compare yet.
+
+usage:
+  bench_compare.py [DIR]          # gate newest vs second-newest
+  bench_compare.py A.json B.json  # explicit baseline, candidate
+  bench_compare.py --self-test    # verify the gate logic itself
+"""
+import copy
+import glob
+import json
+import os
+import re
+import sys
+
+WALL_TOL = float(os.environ.get("ADAFGL_BENCH_WALL_TOL", "0.10"))
+MEM_TOL = float(os.environ.get("ADAFGL_BENCH_MEM_TOL", "0.05"))
+
+
+def find_trajectory_files(root):
+    """BENCH_<seq>.json files under root, sorted by seq ascending."""
+    found = []
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if m:
+            found.append((int(m.group(1)), path))
+    found.sort()
+    return [path for _, path in found]
+
+
+def compare(baseline, candidate):
+    """Returns (regressions, notes): lists of human-readable lines."""
+    regressions = []
+    notes = []
+    base_methods = baseline.get("methods", {})
+    cand_methods = candidate.get("methods", {})
+    for name in sorted(set(base_methods) | set(cand_methods)):
+        if name not in base_methods:
+            notes.append(f"  {name}: new method (no baseline)")
+            continue
+        if name not in cand_methods:
+            notes.append(f"  {name}: dropped from candidate")
+            continue
+        b, c = base_methods[name], cand_methods[name]
+        checks = [
+            ("wall_seconds", WALL_TOL, "s"),
+            ("peak_tensor_bytes", MEM_TOL, "B"),
+        ]
+        for key, tol, unit in checks:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            if bv <= 0:
+                continue
+            ratio = (cv - bv) / bv
+            line = (
+                f"  {name}.{key}: {bv:g}{unit} -> {cv:g}{unit} "
+                f"({ratio:+.1%}, tol +{tol:.0%})"
+            )
+            if ratio > tol:
+                regressions.append(line)
+            else:
+                notes.append(line)
+    return regressions, notes
+
+
+def run_gate(baseline_path, candidate_path):
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(candidate_path, "r", encoding="utf-8") as f:
+        candidate = json.load(f)
+    print(f"bench_compare: {baseline_path} (baseline) vs "
+          f"{candidate_path} (candidate)")
+    regressions, notes = compare(baseline, candidate)
+    for line in notes:
+        print(line)
+    if regressions:
+        print("bench_compare: REGRESSIONS:")
+        for line in regressions:
+            print(line)
+        return 1
+    print("bench_compare: OK (no regression beyond thresholds)")
+    return 0
+
+
+def self_test():
+    """Verifies the gate fails on injected regressions and passes otherwise."""
+    base = {
+        "schema_version": 1,
+        "methods": {
+            "AdaFGL": {
+                "wall_seconds": 10.0,
+                "flops": 1000,
+                "wire_bytes": 500,
+                "peak_tensor_bytes": 1 << 20,
+            },
+            "FedGL": {
+                "wall_seconds": 4.0,
+                "flops": 400,
+                "wire_bytes": 200,
+                "peak_tensor_bytes": 1 << 19,
+            },
+        },
+    }
+
+    def check(label, mutate, want_fail):
+        cand = copy.deepcopy(base)
+        mutate(cand)
+        regressions, _ = compare(base, cand)
+        failed = bool(regressions)
+        ok = failed == want_fail
+        print(f"  self-test {label}: "
+              f"{'FAIL-gate' if failed else 'pass-gate'} "
+              f"({'expected' if ok else 'UNEXPECTED'})")
+        return ok
+
+    results = [
+        check("identical", lambda c: None, want_fail=False),
+        check(
+            "wall -20% (improvement)",
+            lambda c: c["methods"]["AdaFGL"].__setitem__(
+                "wall_seconds", 8.0
+            ),
+            want_fail=False,
+        ),
+        check(
+            "wall +8% (within tol)",
+            lambda c: c["methods"]["AdaFGL"].__setitem__(
+                "wall_seconds", 10.8
+            ),
+            want_fail=False,
+        ),
+        check(
+            "wall +15% (injected regression)",
+            lambda c: c["methods"]["AdaFGL"].__setitem__(
+                "wall_seconds", 11.5
+            ),
+            want_fail=True,
+        ),
+        check(
+            "peak mem +8% (injected regression)",
+            lambda c: c["methods"]["FedGL"].__setitem__(
+                "peak_tensor_bytes", int((1 << 19) * 1.08)
+            ),
+            want_fail=True,
+        ),
+        check(
+            "method added",
+            lambda c: c["methods"].__setitem__(
+                "NewMethod", {"wall_seconds": 1.0}
+            ),
+            want_fail=False,
+        ),
+    ]
+    if all(results):
+        print("bench_compare: self-test OK")
+        return 0
+    print("bench_compare: self-test FAILED")
+    return 1
+
+
+def main():
+    args = sys.argv[1:]
+    if args == ["--self-test"]:
+        sys.exit(self_test())
+    if len(args) == 2:
+        sys.exit(run_gate(args[0], args[1]))
+    root = args[0] if len(args) == 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..")
+    files = find_trajectory_files(root)
+    if len(files) < 2:
+        print(f"bench_compare: {len(files)} trajectory file(s) in {root}; "
+              "nothing to compare — OK")
+        sys.exit(0)
+    sys.exit(run_gate(files[-2], files[-1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Merges one or more bench.json documents into a perf-trajectory file.
+
+Input: bench.json files (schema_version 2, see src/eval/bench_json.h)
+emitted by the bench binaries under ADAFGL_METRICS=1. Output: one
+BENCH_<seq>.json document summarising per-method cost:
+
+```json
+{
+  "schema_version": 1,
+  "seq": 1,
+  "sources": ["Table VIII"],
+  "knobs": {...},                    # from the first input
+  "process": {"wall_seconds", "flops", "peak_tensor_bytes",
+              "peak_rss_bytes", "allocs"},   # summed / maxed over inputs
+  "methods": {
+    "AdaFGL": {"wall_seconds", "flops", "wire_bytes",
+               "peak_tensor_bytes", "runs"},
+    ...
+  }
+}
+```
+
+Per method, runs are aggregated: wall_seconds/flops/wire_bytes sum,
+peak_tensor_bytes takes the max. tools/bench_runner.sh drives this;
+tools/bench_compare.py diffs two trajectory files.
+
+usage: bench_merge.py --seq N --out BENCH_0001.json bench1.json [...]
+"""
+import argparse
+import json
+import sys
+
+
+def merge(docs):
+    methods = {}
+    process = {
+        "wall_seconds": 0.0,
+        "flops": 0,
+        "peak_tensor_bytes": 0,
+        "peak_rss_bytes": 0,
+        "allocs": 0,
+    }
+    sources = []
+    knobs = {}
+    for doc in docs:
+        if doc.get("schema_version") != 2:
+            sys.exit(
+                "bench_merge: expected bench.json schema_version 2, got "
+                f"{doc.get('schema_version')!r}"
+            )
+        sources.append(doc.get("experiment", ""))
+        if not knobs:
+            knobs = doc.get("knobs", {})
+        perf = doc.get("perf", {})
+        process["wall_seconds"] += perf.get("wall_seconds", 0.0)
+        process["flops"] += perf.get("flops", 0)
+        process["allocs"] += perf.get("allocs", 0)
+        for key in ("peak_tensor_bytes", "peak_rss_bytes"):
+            process[key] = max(process[key], perf.get(key, 0))
+        for run in doc.get("runs", []):
+            m = methods.setdefault(
+                run["method"],
+                {
+                    "wall_seconds": 0.0,
+                    "flops": 0,
+                    "wire_bytes": 0,
+                    "peak_tensor_bytes": 0,
+                    "runs": 0,
+                },
+            )
+            m["wall_seconds"] += run.get("wall_seconds", 0.0)
+            m["flops"] += run.get("flops", 0)
+            m["wire_bytes"] += run.get("bytes_up", 0) + run.get(
+                "bytes_down", 0
+            )
+            m["peak_tensor_bytes"] = max(
+                m["peak_tensor_bytes"], run.get("peak_tensor_bytes", 0)
+            )
+            m["runs"] += 1
+    if not methods:
+        sys.exit("bench_merge: no runs[] entries found in the inputs")
+    return {
+        "schema_version": 1,
+        "seq": None,  # filled by main
+        "sources": sources,
+        "knobs": knobs,
+        "process": process,
+        "methods": {k: methods[k] for k in sorted(methods)},
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seq", type=int, required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("inputs", nargs="+")
+    args = parser.parse_args()
+
+    docs = []
+    for path in args.inputs:
+        with open(path, "r", encoding="utf-8") as f:
+            docs.append(json.load(f))
+    doc = merge(docs)
+    doc["seq"] = args.seq
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(
+        f"bench_merge: wrote {args.out} "
+        f"({len(doc['methods'])} methods from {len(docs)} input(s))"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf-trajectory runner: executes the pinned bench subset with metrics
+# on, merges the emitted bench.json documents into the repo-root
+# BENCH_<seq>.json (seq = 1 + highest existing), and runs
+# tools/bench_compare.py against the previous trajectory file. One
+# BENCH_<seq>.json per invocation accumulates a perf history of the repo
+# (wall-clock, flops, wire bytes, peak tensor memory per method).
+#
+#   tools/bench_runner.sh                 # uses ./build (or $BUILD_DIR)
+#   BUILD_DIR=build-rel tools/bench_runner.sh
+#   OUT_DIR=/tmp/traj tools/bench_runner.sh   # write elsewhere (tests)
+#
+# The knobs are pinned so trajectory files are comparable run-to-run;
+# absolute wall-clock still varies with the machine, which is why
+# bench_compare.py gates on relative thresholds.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+outdir="${OUT_DIR:-$root}"
+bin="$build/bench/table8_paradigm_summary"
+
+if [[ ! -x "$bin" ]]; then
+  echo "building table8_paradigm_summary..." >&2
+  cmake -B "$build" -S "$root" >/dev/null
+  cmake --build "$build" -j --target table8_paradigm_summary >/dev/null
+fi
+
+# Next sequence number: 1 + the highest BENCH_<seq>.json present.
+seq=0
+shopt -s nullglob
+for f in "$outdir"/BENCH_*.json; do
+  base="$(basename "$f")"
+  if [[ "$base" =~ ^BENCH_([0-9]+)\.json$ ]]; then
+    n=$((10#${BASH_REMATCH[1]}))
+    (( n > seq )) && seq=$n
+  fi
+done
+shopt -u nullglob
+seq=$((seq + 1))
+out="$outdir/$(printf 'BENCH_%04d.json' "$seq")"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Pinned subset: table8 covers every paradigm (one run per method) and
+# records per-run transport + perf. Small fixed knobs keep it quick.
+echo "bench_runner: running table8 (pinned knobs, metrics on)..." >&2
+ADAFGL_SEEDS=1 ADAFGL_ROUNDS=3 ADAFGL_EPOCHS=1 ADAFGL_POST_EPOCHS=2 \
+  ADAFGL_METRICS=1 ADAFGL_BENCH_JSON="$tmp/table8.json" \
+  "$bin" >"$tmp/table8.stdout" 2>"$tmp/table8.stderr"
+
+if [[ ! -s "$tmp/table8.json" ]]; then
+  echo "bench_runner: FAIL: table8 did not write bench.json" >&2
+  cat "$tmp/table8.stderr" >&2
+  exit 1
+fi
+
+python3 "$root/tools/bench_merge.py" --seq "$seq" --out "$out" \
+  "$tmp/table8.json"
+
+# Gate against the previous trajectory file (trivially OK when this is
+# the first one).
+python3 "$root/tools/bench_compare.py" "$outdir"
