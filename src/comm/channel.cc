@@ -18,6 +18,11 @@ struct CommCounters {
   obs::Counter* retransmits;
   obs::Counter* drops;
   obs::Counter* dropouts;
+  obs::Counter* corrupt;
+  obs::Counter* nack;
+  obs::Counter* retry;
+  obs::Counter* deadline_cut;
+  obs::Counter* crash;
 
   static const CommCounters& Get() {
     static const CommCounters c = [] {
@@ -27,7 +32,12 @@ struct CommCounters {
                           r.GetCounter("comm.frames"),
                           r.GetCounter("comm.retransmits"),
                           r.GetCounter("comm.drops"),
-                          r.GetCounter("comm.dropouts")};
+                          r.GetCounter("comm.dropouts"),
+                          r.GetCounter("fed.faults.corrupt"),
+                          r.GetCounter("fed.faults.nack"),
+                          r.GetCounter("fed.faults.retry"),
+                          r.GetCounter("fed.faults.deadline_cut"),
+                          r.GetCounter("fed.faults.crash")};
     }();
     return c;
   }
@@ -56,13 +66,21 @@ void ParameterServer::BeginRound(int round,
   round_ = round;
   for (Endpoint& e : endpoints_) {
     e.active = false;
+    e.crashed = false;
     e.round_seconds = 0.0;
     e.message_index = 0;
   }
-  int64_t dropped = 0;
+  int64_t dropped = 0, crashed = 0;
   for (int32_t c : participants) {
     ADAFGL_CHECK(c >= 0 && c < num_clients());
     Endpoint& e = endpoints_[static_cast<size_t>(c)];
+    // A crash dominates a same-round dropout: the client loses its state
+    // and sits the round out regardless of link health.
+    e.crashed = link_.ClientCrashes(c, round);
+    if (e.crashed) {
+      ++crashed;
+      continue;
+    }
     e.active = !link_.ClientDropsOut(c, round);
     if (!e.active) ++dropped;
   }
@@ -70,11 +88,20 @@ void ParameterServer::BeginRound(int round,
     stats_.dropouts.fetch_add(dropped, std::memory_order_relaxed);
     if (obs::MetricsEnabled()) CommCounters::Get().dropouts->Inc(dropped);
   }
+  if (crashed > 0) {
+    stats_.crashes.fetch_add(crashed, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) CommCounters::Get().crash->Inc(crashed);
+  }
 }
 
 bool ParameterServer::ClientActive(int32_t client) const {
   ADAFGL_CHECK(client >= 0 && client < num_clients());
   return endpoints_[static_cast<size_t>(client)].active;
+}
+
+bool ParameterServer::ClientCrashed(int32_t client) const {
+  ADAFGL_CHECK(client >= 0 && client < num_clients());
+  return endpoints_[static_cast<size_t>(client)].crashed;
 }
 
 void ParameterServer::EndRound() {
@@ -116,20 +143,62 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
   const auto wire_bytes = static_cast<int64_t>(wire.size());
   const int64_t message_index = endpoint.message_index++;
 
+  // max_retries is validated non-negative at construction
+  // (ValidateLinkOptions) — no clamping here.
+  const LinkOptions& lopts = link_.options();
   const int attempts_allowed =
-      link_.options().policy == FaultPolicy::kRetry
-          ? 1 + std::max(0, link_.options().max_retries)
-          : 1;
+      lopts.policy == FaultPolicy::kRetry ? 1 + lopts.max_retries : 1;
   bool delivered = false;
-  int64_t attempts_used = 0, lost = 0;
+  int64_t attempts_used = 0, lost = 0, corrupted = 0;
   for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
     ++attempts_used;
-    endpoint.round_seconds += link_.TransferSeconds(client, wire_bytes);
-    if (!link_.MessageLost(client, round_, message_index, attempt)) {
-      delivered = true;
-      break;
+    if (attempt > 0 && lopts.backoff_base_s > 0.0) {
+      // Exponential backoff before the k-th retransmission: base * 2^(k-1).
+      endpoint.round_seconds +=
+          lopts.backoff_base_s *
+          static_cast<double>(1LL << std::min(attempt - 1, 62));
     }
-    ++lost;
+    endpoint.round_seconds += link_.TransferSeconds(client, wire_bytes);
+    if (link_.MessageLost(client, round_, message_index, attempt)) {
+      ++lost;
+      continue;
+    }
+    if (link_.MessageCorrupted(client, round_, message_index, attempt)) {
+      // The frame arrives with a flipped bit. The receiver re-parses it,
+      // the FNV-1a checksum fails, and the resulting NACK triggers a
+      // retransmission on the next attempt (NACKs themselves are free
+      // control messages).
+      std::string damaged = wire;
+      const uint64_t draw =
+          link_.CorruptionDraw(client, round_, message_index, attempt);
+      size_t lo = static_cast<size_t>(kFrameHeaderBytes);
+      size_t span = damaged.size() - lo;
+      if (span == 0) {
+        // Empty payload: damage the checksum field instead (bytes 16-23).
+        lo = 16;
+        span = 8;
+      }
+      const size_t offset = lo + static_cast<size_t>(draw % span);
+      damaged[offset] =
+          static_cast<char>(damaged[offset] ^
+                            static_cast<char>(1u << ((draw >> 32) % 8)));
+      // The receive path must detect the damage — this is the invariant
+      // the whole NACK mechanism rests on.
+      ADAFGL_CHECK(!DecodeFrame(damaged).ok());
+      ++corrupted;
+      continue;
+    }
+    delivered = true;
+    break;
+  }
+  // Deadline straggler cut: a client whose serial link time exceeded the
+  // round budget is dropped for the round even if its last transfer
+  // technically arrived.
+  bool deadline_cut = false;
+  if (delivered && lopts.round_deadline_s > 0.0 &&
+      endpoint.round_seconds > lopts.round_deadline_s) {
+    delivered = false;
+    deadline_cut = true;
   }
   if (!delivered) endpoint.active = false;
 
@@ -139,6 +208,13 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
   (uplink ? stats_.bytes_up : stats_.bytes_down)
       .fetch_add(burnt, std::memory_order_relaxed);
   if (lost > 0) stats_.drops.fetch_add(lost, std::memory_order_relaxed);
+  if (corrupted > 0) {
+    stats_.corruptions.fetch_add(corrupted, std::memory_order_relaxed);
+    stats_.nacks.fetch_add(corrupted, std::memory_order_relaxed);
+  }
+  if (deadline_cut) {
+    stats_.deadline_cuts.fetch_add(1, std::memory_order_relaxed);
+  }
   if (delivered) {
     const int64_t payload = PayloadFloatBytes(tensors);
     if (uplink) {
@@ -157,8 +233,16 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
     const CommCounters& c = CommCounters::Get();
     (uplink ? c.bytes_up : c.bytes_down)->Inc(burnt);
     c.frames->Inc(attempts_used);
-    if (attempts_used > 1) c.retransmits->Inc(attempts_used - 1);
+    if (attempts_used > 1) {
+      c.retransmits->Inc(attempts_used - 1);
+      c.retry->Inc(attempts_used - 1);
+    }
     if (lost > 0) c.drops->Inc(lost);
+    if (corrupted > 0) {
+      c.corrupt->Inc(corrupted);
+      c.nack->Inc(corrupted);
+    }
+    if (deadline_cut) c.deadline_cut->Inc();
     if (!delivered) c.dropouts->Inc();
   }
   if (!delivered) return std::nullopt;
@@ -168,6 +252,10 @@ std::optional<std::vector<Matrix>> ParameterServer::Transfer(
   const int64_t decode_t0 = metrics ? obs::NowNs() : 0;
   Result<Frame> frame = DecodeFrame(wire);
   ADAFGL_CHECK(frame.ok());
+  // Type verification closes the checksum's one blind spot: the FNV-1a
+  // covers only the payload, so a header type flipped to another valid
+  // value would otherwise decode as the wrong message class.
+  ADAFGL_CHECK(frame.value().type == type);
   Result<std::vector<Matrix>> decoded =
       MakeCodec(frame.value().codec, codec_config_)
           ->Decode(frame.value().payload);

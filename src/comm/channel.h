@@ -17,7 +17,10 @@ namespace adafgl::comm {
 /// The server and its clients exchange *only serialized bytes*: every
 /// transfer encodes the tensors with the configured codec, wraps them in a
 /// checksummed frame (wire.h), "sends" them through the simulated link
-/// (latency/bandwidth/loss), then decodes on the receiving side. What the
+/// (latency/bandwidth/loss/corruption), then decodes on the receiving
+/// side; a frame that arrives bit-corrupted fails its FNV-1a checksum and
+/// is NACKed back to the sender, which retransmits it under the same retry
+/// budget (with optional exponential backoff) as a lost message. What the
 /// caller gets back is the receiver's view — bit-identical under the
 /// lossless codec, degraded under fp16/topk — and all accounting
 /// (CommStats) is measured from the actual wire bytes.
@@ -39,13 +42,18 @@ class ParameterServer {
   }
 
   /// Opens a round: resets per-client link clocks and message counters and
-  /// rolls client dropouts for `participants`. Calling it again with the
-  /// same `round` re-derives identical dropout decisions.
+  /// rolls client crashes and dropouts for `participants`. Calling it again
+  /// with the same `round` re-derives identical decisions.
   void BeginRound(int round, const std::vector<int32_t>& participants);
 
-  /// Whether `client` is still reachable this round (not dropped out, no
-  /// exhausted retries yet).
+  /// Whether `client` is still reachable this round (not crashed or
+  /// dropped out, no exhausted retries or deadline cut yet).
   bool ClientActive(int32_t client) const;
+
+  /// Whether `client` crashed this round (LinkOptions::crash_prob). A
+  /// crashed client is inactive and must restore from checkpoint before
+  /// training again.
+  bool ClientCrashed(int32_t client) const;
 
   /// Closes the round: folds the slowest participating client's serial
   /// transfer time into `stats().sim_seconds`.
@@ -72,6 +80,7 @@ class ParameterServer {
   /// Per-client endpoint state (the "CommClient" side of the channel).
   struct Endpoint {
     bool active = false;
+    bool crashed = false;        // Crashed at BeginRound; sits the round out.
     double round_seconds = 0.0;  // Serial link time this round.
     int64_t message_index = 0;   // Per-round message counter.
   };

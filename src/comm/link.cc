@@ -13,11 +13,42 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// True for a probability parameter outside [0, 1].
+bool BadProb(double p) { return !(p >= 0.0 && p <= 1.0); }
+
 }  // namespace
+
+Status ValidateLinkOptions(const LinkOptions& options) {
+  if (options.latency_s < 0.0)
+    return Status::InvalidArgument("LinkOptions.latency_s must be >= 0");
+  if (options.bandwidth_bps < 0.0)
+    return Status::InvalidArgument("LinkOptions.bandwidth_bps must be >= 0");
+  if (options.heterogeneity < 0.0)
+    return Status::InvalidArgument("LinkOptions.heterogeneity must be >= 0");
+  if (BadProb(options.drop_prob))
+    return Status::InvalidArgument("LinkOptions.drop_prob must be in [0, 1]");
+  if (BadProb(options.dropout_prob))
+    return Status::InvalidArgument(
+        "LinkOptions.dropout_prob must be in [0, 1]");
+  if (BadProb(options.corrupt_prob))
+    return Status::InvalidArgument(
+        "LinkOptions.corrupt_prob must be in [0, 1]");
+  if (BadProb(options.crash_prob))
+    return Status::InvalidArgument("LinkOptions.crash_prob must be in [0, 1]");
+  if (options.max_retries < 0)
+    return Status::InvalidArgument("LinkOptions.max_retries must be >= 0");
+  if (options.backoff_base_s < 0.0)
+    return Status::InvalidArgument("LinkOptions.backoff_base_s must be >= 0");
+  if (options.round_deadline_s < 0.0)
+    return Status::InvalidArgument(
+        "LinkOptions.round_deadline_s must be >= 0");
+  return Status::Ok();
+}
 
 LinkModel::LinkModel(const LinkOptions& options, int32_t num_clients,
                      uint64_t seed)
     : options_(options), seed_(seed) {
+  ADAFGL_CHECK(ValidateLinkOptions(options).ok());
   client_slowdown_.reserve(static_cast<size_t>(num_clients));
   Rng rng(seed ^ 0x11f7c0ffeeULL);
   for (int32_t c = 0; c < num_clients; ++c) {
@@ -59,6 +90,37 @@ bool LinkModel::MessageLost(int32_t client, int round, int64_t message_index,
   event = Mix64(event ^ (static_cast<uint64_t>(message_index) << 8));
   event = Mix64(event ^ static_cast<uint64_t>(attempt));
   return EventBernoulli(event, options_.drop_prob);
+}
+
+bool LinkModel::MessageCorrupted(int32_t client, int round,
+                                 int64_t message_index, int attempt) const {
+  if (options_.corrupt_prob <= 0.0) return false;
+  // Distinct salt from MessageLost so the loss and corruption coins of the
+  // same transmission are independent.
+  uint64_t event = seed_ ^ 0xc0bbfe17ULL;
+  event = Mix64(event ^ static_cast<uint64_t>(round));
+  event = Mix64(event ^ (static_cast<uint64_t>(client) << 16));
+  event = Mix64(event ^ (static_cast<uint64_t>(message_index) << 8));
+  event = Mix64(event ^ static_cast<uint64_t>(attempt));
+  return EventBernoulli(event, options_.corrupt_prob);
+}
+
+uint64_t LinkModel::CorruptionDraw(int32_t client, int round,
+                                   int64_t message_index, int attempt) const {
+  uint64_t event = seed_ ^ 0x5e1bf11bULL;
+  event = Mix64(event ^ static_cast<uint64_t>(round));
+  event = Mix64(event ^ (static_cast<uint64_t>(client) << 16));
+  event = Mix64(event ^ (static_cast<uint64_t>(message_index) << 8));
+  event = Mix64(event ^ static_cast<uint64_t>(attempt));
+  return Mix64(event);
+}
+
+bool LinkModel::ClientCrashes(int32_t client, int round) const {
+  if (options_.crash_prob <= 0.0) return false;
+  const uint64_t event =
+      Mix64(seed_ ^ Mix64(0xc4a54ULL ^ static_cast<uint64_t>(round)) ^
+            Mix64(static_cast<uint64_t>(client) << 24));
+  return EventBernoulli(event, options_.crash_prob);
 }
 
 bool LinkModel::EventBernoulli(uint64_t seed, double p) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/rng.h"
+#include "tensor/status.h"
 
 namespace adafgl::comm {
 
@@ -35,12 +36,36 @@ struct LinkOptions {
   /// Per-round probability a sampled client drops out entirely
   /// (stragglers/battery/churn).
   double dropout_prob = 0.0;
+  /// Per-message probability the payload is bit-corrupted in flight. A
+  /// corrupted frame fails its FNV-1a checksum at the receiver, which
+  /// NACKs it; under FaultPolicy::kRetry the sender retransmits.
+  double corrupt_prob = 0.0;
+  /// Per-round probability a sampled client crashes, losing its in-memory
+  /// state. A crashed client sits the round out and rejoins the next one
+  /// from its last checkpoint (or from scratch if it never saved one).
+  double crash_prob = 0.0;
   /// Retransmissions allowed per message under FaultPolicy::kRetry.
   int max_retries = 2;
+  /// Exponential-backoff base for retransmissions: the k-th retry adds
+  /// backoff_base_s * 2^(k-1) of simulated time. 0 disables backoff.
+  double backoff_base_s = 0.0;
+  /// Per-round simulated-time budget per client; a client whose round
+  /// exceeds it is cut (deadline straggler mitigation). 0 disables.
+  double round_deadline_s = 0.0;
   FaultPolicy policy = FaultPolicy::kRetry;
 
-  bool faulty() const { return drop_prob > 0.0 || dropout_prob > 0.0; }
+  bool faulty() const {
+    return drop_prob > 0.0 || dropout_prob > 0.0 || corrupt_prob > 0.0 ||
+           crash_prob > 0.0;
+  }
 };
+
+/// Rejects unusable configurations with InvalidArgument naming the field:
+/// probabilities outside [0, 1], negative max_retries, latency, bandwidth,
+/// heterogeneity, backoff, or deadline. LinkModel and ParameterServer
+/// CHECK this at construction; call it yourself to surface the error as a
+/// Status instead of an abort.
+Status ValidateLinkOptions(const LinkOptions& options);
 
 /// \brief Deterministic per-client link simulation.
 ///
@@ -65,6 +90,22 @@ class LinkModel {
   /// or to `client` in `round` is lost.
   bool MessageLost(int32_t client, int round, int64_t message_index,
                    int attempt) const;
+
+  /// Whether the `attempt`-th transmission of message `message_index` from
+  /// or to `client` in `round` arrives bit-corrupted. Independent of
+  /// MessageLost (a message can only be one of lost / corrupted / clean —
+  /// the channel checks loss first).
+  bool MessageCorrupted(int32_t client, int round, int64_t message_index,
+                        int attempt) const;
+
+  /// Deterministic corruption site for a corrupted transmission: a 64-bit
+  /// draw the channel maps to (byte offset, bit mask) within the frame.
+  uint64_t CorruptionDraw(int32_t client, int round, int64_t message_index,
+                          int attempt) const;
+
+  /// Whether `client` crashes in `round` (loses in-memory state; rejoins
+  /// later from checkpoint).
+  bool ClientCrashes(int32_t client, int round) const;
 
  private:
   /// Stateless per-event coin flip: deterministic in the event coordinates.

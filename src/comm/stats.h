@@ -26,8 +26,18 @@ struct CommStats {
   int64_t messages_down = 0;
   /// Transmissions lost in flight (each counted once per lost attempt).
   int64_t drops = 0;
-  /// Client-rounds lost to dropout or exhausted retries.
+  /// Client-rounds lost to dropout, exhausted retries, or deadline cuts.
   int64_t dropouts = 0;
+  /// Transmissions that arrived bit-corrupted (failed the frame checksum).
+  int64_t corruptions = 0;
+  /// NACKs the receiver sent back for corrupted frames (one per corrupted
+  /// arrival; the NACK itself is a free control message).
+  int64_t nacks = 0;
+  /// Client-rounds cut because the client exceeded round_deadline_s of
+  /// simulated link time (also counted in `dropouts`).
+  int64_t deadline_cuts = 0;
+  /// Client-rounds lost to a client crash (LinkOptions::crash_prob).
+  int64_t crashes = 0;
   /// Simulated wall-clock of the whole run: per round, the slowest
   /// participating client's serial transfer time (links run in parallel
   /// across clients, serially per client).
@@ -45,6 +55,10 @@ struct CommStats {
     messages_down += o.messages_down;
     drops += o.drops;
     dropouts += o.dropouts;
+    corruptions += o.corruptions;
+    nacks += o.nacks;
+    deadline_cuts += o.deadline_cuts;
+    crashes += o.crashes;
     sim_seconds += o.sim_seconds;
   }
 };
@@ -64,6 +78,10 @@ struct AtomicCommStats {
   std::atomic<int64_t> messages_down{0};
   std::atomic<int64_t> drops{0};
   std::atomic<int64_t> dropouts{0};
+  std::atomic<int64_t> corruptions{0};
+  std::atomic<int64_t> nacks{0};
+  std::atomic<int64_t> deadline_cuts{0};
+  std::atomic<int64_t> crashes{0};
   std::atomic<double> sim_seconds{0.0};
 
   void AddSimSeconds(double s) {
@@ -82,6 +100,10 @@ struct AtomicCommStats {
     s.messages_down = messages_down.load(std::memory_order_relaxed);
     s.drops = drops.load(std::memory_order_relaxed);
     s.dropouts = dropouts.load(std::memory_order_relaxed);
+    s.corruptions = corruptions.load(std::memory_order_relaxed);
+    s.nacks = nacks.load(std::memory_order_relaxed);
+    s.deadline_cuts = deadline_cuts.load(std::memory_order_relaxed);
+    s.crashes = crashes.load(std::memory_order_relaxed);
     s.sim_seconds = sim_seconds.load(std::memory_order_relaxed);
     return s;
   }

@@ -81,6 +81,7 @@ void BenchReport::AddRun(const std::string& method,
   run.codec = result.comm.codec;
   run.threads = result.comm.num_threads;
   run.stats = result.comm.stats;
+  run.resilience = result.resilience;
   run.rounds = result.history;
   run.perf = result.perf;
   runs_.push_back(std::move(run));
@@ -91,7 +92,7 @@ std::string BenchReport::ToJson() {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(2);
+  w.Int(3);
   w.Key("experiment");
   w.String(experiment_);
   w.Key("description");
@@ -156,6 +157,20 @@ std::string BenchReport::ToJson() {
     w.Int(r.stats.drops);
     w.Key("dropouts");
     w.Int(r.stats.dropouts);
+    w.Key("corruptions");
+    w.Int(r.stats.corruptions);
+    w.Key("nacks");
+    w.Int(r.stats.nacks);
+    w.Key("deadline_cuts");
+    w.Int(r.stats.deadline_cuts);
+    w.Key("crashes");
+    w.Int(r.stats.crashes);
+    w.Key("rejected_updates");
+    w.Int(r.resilience.rejected_updates);
+    w.Key("clipped_updates");
+    w.Int(r.resilience.clipped_updates);
+    w.Key("rounds_skipped");
+    w.Int(r.resilience.rounds_skipped);
     w.Key("sim_seconds");
     w.Double(r.stats.sim_seconds);
     w.Key("wall_seconds");
@@ -176,6 +191,8 @@ std::string BenchReport::ToJson() {
       w.Double(rec.test_acc);
       w.Key("participants");
       w.Int(rec.participants);
+      w.Key("quorum");
+      w.Double(rec.quorum);
       w.Key("bytes_up");
       w.Int(rec.bytes_up);
       w.Key("bytes_down");

@@ -21,7 +21,7 @@ namespace adafgl {
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "experiment": "Table VIII",
 ///   "description": "...",
 ///   "knobs": {"seeds", "rounds", "epochs", "post_epochs",
@@ -29,16 +29,23 @@ namespace adafgl {
 ///   "cells": [{"method", "dataset", "split", "acc_mean", "acc_std"}],
 ///   "runs":  [{"method", "dataset", "split", "final_acc", "codec",
 ///              "threads", "bytes_up", "bytes_down", "messages_up",
-///              "messages_down", "drops", "dropouts", "sim_seconds",
+///              "messages_down", "drops", "dropouts", "corruptions",
+///              "nacks", "deadline_cuts", "crashes", "rejected_updates",
+///              "clipped_updates", "rounds_skipped", "sim_seconds",
 ///              "wall_seconds", "flops", "peak_tensor_bytes",
 ///              "rounds": [{"round", "train_loss", "test_acc",
-///                          "participants", "bytes_up", "bytes_down",
-///                          "sim_seconds"}]}],
+///                          "participants", "quorum", "bytes_up",
+///                          "bytes_down", "sim_seconds"}]}],
 ///   "perf":  {"wall_seconds", "flops", "peak_tensor_bytes",
 ///             "peak_rss_bytes", "allocs"},
 ///   "phases": [{"name", "count", "total_ms", "peak_bytes"}]
 /// }
 /// ```
+///
+/// Schema v3 adds the fault-tolerance accounting: per-run transport fault
+/// counters (corruptions/nacks/deadline_cuts/crashes from comm::CommStats),
+/// server-side recovery tallies (rejected/clipped updates, skipped rounds
+/// from ResilienceStats), and the per-round participation quorum.
 ///
 /// `cells` are the aggregated table entries (mean ± std over seeds);
 /// `runs` carry the full per-round trajectory of individual runs for the
@@ -94,6 +101,7 @@ class BenchReport {
     std::string codec;
     int threads = 1;
     comm::CommStats stats;
+    ResilienceStats resilience;
     std::vector<RoundRecord> rounds;
     RunPerf perf;
   };

@@ -151,6 +151,12 @@ FedConfig BenchFedConfig() {
   cfg.comm.codec = EnvStr("ADAFGL_CODEC", cfg.comm.codec);
   cfg.comm.topk_ratio = EnvDouble("ADAFGL_TOPK_RATIO", cfg.comm.topk_ratio);
   cfg.comm.num_threads = EnvInt("ADAFGL_THREADS", cfg.comm.num_threads);
+  // Fault tolerance overrides: ADAFGL_AGGREGATOR / ADAFGL_TRIM_RATIO /
+  // ADAFGL_MIN_PARTICIPATION / ADAFGL_OVER_SELECT / ADAFGL_MAX_UPDATE_NORM
+  // (fed/resilience.h) plus the per-round simulated-time deadline.
+  cfg.resilience = ResilienceFromEnv(cfg.resilience);
+  cfg.comm.link.round_deadline_s =
+      EnvDouble("ADAFGL_ROUND_DEADLINE", cfg.comm.link.round_deadline_s);
   return cfg;
 }
 

@@ -6,6 +6,7 @@
 
 #include "fed/transport.h"
 #include "nn/models.h"
+#include "nn/serialize.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/status.h"
 
@@ -135,6 +136,60 @@ int64_t FedClient::ParamBytes() {
   return ParameterCount(*model_) * static_cast<int64_t>(sizeof(float));
 }
 
+std::string FedClient::Checkpoint() {
+  std::vector<Matrix> state = GetWeights(*model_);
+  const size_t num_params = state.size();
+  std::vector<Matrix> moments = optimizer_->ExportState();
+  ADAFGL_CHECK(moments.size() == 2 * num_params);
+  for (Matrix& m : moments) state.push_back(std::move(m));
+  // The Adam step counter rides along as a 1x1 matrix; exact as a float
+  // for any realistic count (< 2^24 steps).
+  Matrix t(1, 1);
+  t(0, 0) = static_cast<float>(optimizer_->step_count());
+  state.push_back(std::move(t));
+  return SerializeWeights(state);
+}
+
+Status FedClient::Restore(const std::string& bytes) {
+  Result<std::vector<Matrix>> parsed = DeserializeWeights(bytes);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<Matrix>& state = *parsed;
+  std::vector<Tensor> params = model_->Params();
+  const size_t num_params = params.size();
+  if (state.size() != 3 * num_params + 1) {
+    return Status::InvalidArgument(
+        "checkpoint matrix count does not match model");
+  }
+  for (size_t i = 0; i < num_params; ++i) {
+    if (!params[i]->value().SameShape(state[i])) {
+      return Status::InvalidArgument("checkpoint weight shape mismatch");
+    }
+  }
+  if (state.back().rows() != 1 || state.back().cols() != 1 ||
+      state.back()(0, 0) < 0.0f) {
+    return Status::InvalidArgument("checkpoint step counter malformed");
+  }
+  // Unlike SetGlobalWeights this restores *all* parameters, including
+  // personalized masks — a checkpoint is the client's own state.
+  for (size_t i = 0; i < num_params; ++i) {
+    params[i]->mutable_value() = state[i];
+  }
+  optimizer_->ImportState(
+      std::vector<Matrix>(state.begin() + static_cast<int64_t>(num_params),
+                          state.end() - 1),
+      static_cast<int64_t>(state.back()(0, 0)));
+  return Status::Ok();
+}
+
+void FedClient::CrashAndRestore() {
+  for (const Tensor& p : model_->Params()) p->mutable_value().Zero();
+  optimizer_->ResetState();
+  last_delta_.clear();
+  if (has_checkpoint()) {
+    ADAFGL_CHECK(Restore(checkpoint_).ok());
+  }
+}
+
 std::vector<Matrix> AverageWeights(
     const std::vector<std::vector<Matrix>>& client_weights,
     const std::vector<double>& weights) {
@@ -203,22 +258,21 @@ FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config) {
 
   const int32_t per_round = std::max<int32_t>(
       1, static_cast<int32_t>(std::lround(config.participation * n)));
+  ADAFGL_CHECK(config.resilience.Validate().ok());
 
   for (int round = 1; round <= config.rounds; ++round) {
-    // Sample participants.
-    std::vector<int32_t> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    for (int32_t i = n - 1; i > 0; --i) {
-      std::swap(order[static_cast<size_t>(i)],
-                order[static_cast<size_t>(round_rng.UniformInt(i + 1))]);
-    }
-    order.resize(static_cast<size_t>(per_round));
+    // Sample participants, over-selecting when straggler mitigation is on.
+    const int32_t take = OverSelectedCount(config.resilience, per_round, n);
+    std::vector<int32_t> order = SampleParticipants(round_rng, n, take);
 
     TrainRoundSpec spec;
     spec.epochs = config.local_epochs;
+    spec.resilience = &config.resilience;
+    spec.chaos_seed = config.seed ^ 0xc4a05ULL;
     std::vector<RoundClientResult> outcomes = RunTrainingRound(
         ps, pool, clients, order, round,
         [&](int32_t) -> const std::vector<Matrix>& { return global; }, spec);
+    result.resilience.Add(TallyRoundResilience(outcomes));
 
     std::vector<std::vector<Matrix>> uploads;
     std::vector<double> sizes;
@@ -228,9 +282,17 @@ FedRunResult RunFedAvg(const FederatedDataset& data, const FedConfig& config) {
       sizes.push_back(static_cast<double>(std::max<int64_t>(
           1, clients[static_cast<size_t>(r.client)]->num_train())));
     }
-    // A fully-lost round (every sampled client dropped) keeps the previous
+    // A round below quorum (including fully lost) keeps the previous
     // global model instead of aborting.
-    if (!uploads.empty()) global = AverageWeights(uploads, sizes);
+    if (QuorumMet(config.resilience, static_cast<int>(uploads.size()),
+                  static_cast<int>(order.size()))) {
+      global = AggregateRobust(config.resilience.aggregator,
+                               config.resilience.trim_ratio, uploads, sizes);
+    } else {
+      ++result.resilience.rounds_skipped;
+      EmitRoundSkipped("FedAvg", round, static_cast<int>(uploads.size()),
+                       static_cast<int>(order.size()));
+    }
 
     if (round % config.eval_every == 0 || round == config.rounds) {
       for (auto& c : clients) c->SetGlobalWeights(global);

@@ -8,6 +8,7 @@
 
 #include "comm/options.h"
 #include "comm/stats.h"
+#include "fed/resilience.h"
 #include "fed/splits.h"
 #include "nn/model.h"
 #include "tensor/optim.h"
@@ -38,6 +39,10 @@ struct FedConfig {
   /// The defaults (lossless, 1 thread, perfect network) reproduce the
   /// historical in-process weight exchange bit-for-bit.
   comm::Options comm;
+  /// Fault tolerance: aggregation rule, quorum, over-selection, update
+  /// validation (fed/resilience.h). Defaults are bit-identical to the
+  /// pre-resilience runtime.
+  ResilienceOptions resilience;
 };
 
 /// One per-round measurement of the aggregated global model, plus the
@@ -49,6 +54,8 @@ struct RoundRecord {
   double train_loss = 0.0;
   /// Clients that completed the round (downlink + training + uplink).
   int participants = 0;
+  /// Fraction of the sampled clients that completed the round.
+  double quorum = 0.0;
   /// Cumulative wire bytes / simulated wall-clock up to and including this
   /// round (monotone across the history).
   int64_t bytes_up = 0;
@@ -84,6 +91,8 @@ struct FedRunResult {
   /// Full transport accounting: message/byte counts, simulated wall-clock,
   /// fault tallies, codec.
   comm::CommReport comm;
+  /// Recovery-path tallies: rejected/clipped uploads, skipped rounds.
+  ResilienceStats resilience;
   /// Final server-side aggregated weights (AdaFGL Step 1 consumes these).
   std::vector<Matrix> global_weights;
   /// Wall-clock / flop / peak-memory cost (filled by eval::RunAlgorithm).
@@ -143,6 +152,29 @@ class FedClient {
   /// oracle the payload accounting is regression-tested against.
   int64_t ParamBytes();
 
+  // --- Crash recovery ----------------------------------------------------
+
+  /// Serializes the client's complete training state — all P parameter
+  /// matrices (including personalized masks), the 2P Adam moments, and the
+  /// step counter — through the weight checkpoint wire format
+  /// (nn/serialize.h): [P weights, P first moments, P second moments,
+  /// 1x1 step-count matrix].
+  std::string Checkpoint();
+
+  /// Inverse of Checkpoint; bit-exact round trip. InvalidArgument on
+  /// malformed bytes or a shape/count mismatch with this client's model.
+  Status Restore(const std::string& bytes);
+
+  /// Saves the current state as the rejoin point for a future crash.
+  void SaveCheckpoint() { checkpoint_ = Checkpoint(); }
+  bool has_checkpoint() const { return !checkpoint_.empty(); }
+
+  /// Simulates a crash: wipes weights, optimizer moments, and the last
+  /// delta, then rejoins from the saved checkpoint if one exists. Without
+  /// a checkpoint the client restarts cold — non-mask weights are
+  /// re-seeded by the next broadcast, personalized masks are lost.
+  void CrashAndRestore();
+
  private:
   Tensor BuildLoss(const GraphContext& ctx, const std::vector<int32_t>& train,
                    bool training);
@@ -159,6 +191,7 @@ class FedClient {
   Rng rng_;
 
   std::vector<Matrix> last_delta_;
+  std::string checkpoint_;
 
   std::vector<int32_t> pseudo_labels_;
   std::vector<int32_t> pseudo_nodes_;

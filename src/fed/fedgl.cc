@@ -35,19 +35,17 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
   const int warmup = std::max(1, config.rounds / 3);
 
   for (int round = 1; round <= config.rounds; ++round) {
-    std::vector<int32_t> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    for (int32_t i = n - 1; i > 0; --i) {
-      std::swap(order[static_cast<size_t>(i)],
-                order[static_cast<size_t>(round_rng.UniformInt(i + 1))]);
-    }
-    order.resize(static_cast<size_t>(per_round));
+    const int32_t take = OverSelectedCount(config.resilience, per_round, n);
+    std::vector<int32_t> order = SampleParticipants(round_rng, n, take);
 
     TrainRoundSpec spec;
     spec.epochs = config.local_epochs;
+    spec.resilience = &config.resilience;
+    spec.chaos_seed = config.seed ^ 0xc4a05ULL;
     std::vector<RoundClientResult> outcomes = RunTrainingRound(
         ps, pool, clients, order, round,
         [&](int32_t) -> const std::vector<Matrix>& { return global; }, spec);
+    result.resilience.Add(TallyRoundResilience(outcomes));
 
     std::vector<std::vector<Matrix>> uploads;
     std::vector<double> sizes;
@@ -57,7 +55,15 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
       sizes.push_back(static_cast<double>(std::max<int64_t>(
           1, clients[static_cast<size_t>(r.client)]->num_train())));
     }
-    if (!uploads.empty()) global = AverageWeights(uploads, sizes);
+    if (QuorumMet(config.resilience, static_cast<int>(uploads.size()),
+                  static_cast<int>(order.size()))) {
+      global = AggregateRobust(config.resilience.aggregator,
+                               config.resilience.trim_ratio, uploads, sizes);
+    } else {
+      ++result.resilience.rounds_skipped;
+      EmitRoundSkipped("FedGL", round, static_cast<int>(uploads.size()),
+                       static_cast<int>(order.size()));
+    }
 
     // Global self-supervision: after warmup, refresh every client's pseudo
     // labels from the aggregated model's confident predictions. The

@@ -73,13 +73,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
       1, static_cast<int32_t>(std::lround(cfg.participation * n)));
 
   for (int round = 1; round <= cfg.rounds; ++round) {
-    std::vector<int32_t> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    for (int32_t i = n - 1; i > 0; --i) {
-      std::swap(order[static_cast<size_t>(i)],
-                order[static_cast<size_t>(round_rng.UniformInt(i + 1))]);
-    }
-    order.resize(static_cast<size_t>(per_round));
+    const int32_t take = OverSelectedCount(cfg.resilience, per_round, n);
+    std::vector<int32_t> order = SampleParticipants(round_rng, n, take);
 
     std::vector<std::vector<Matrix>> uploads(static_cast<size_t>(n));
     std::vector<std::vector<float>> embeddings(static_cast<size_t>(n));
@@ -90,6 +85,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
     // embedding affects the aggregation exactly as it would in deployment.
     TrainRoundSpec spec;
     spec.epochs = cfg.local_epochs;
+    spec.resilience = &cfg.resilience;
+    spec.chaos_seed = cfg.seed ^ 0xc4a05ULL;
     spec.post_upload = [&](int32_t c, FedClient& client) {
       Rng fwd_rng(cfg.seed + static_cast<uint64_t>(round));
       Tensor out = client.model().Forward(proxy_ctx, /*training=*/false,
@@ -107,6 +104,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
         },
         spec);
 
+    result.resilience.Add(TallyRoundResilience(outcomes));
+
     std::vector<int32_t> survivors;
     for (RoundClientResult& r : outcomes) {
       const auto c = static_cast<size_t>(r.client);
@@ -114,6 +113,17 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
       if (!r.participated || embeddings[c].empty()) continue;
       uploads[c] = std::move(r.upload);
       survivors.push_back(r.client);
+    }
+
+    // Round-level quorum over the survivors; below it every client keeps
+    // its previous personalized weights.
+    if (!QuorumMet(cfg.resilience, static_cast<int>(survivors.size()),
+                   static_cast<int>(order.size()))) {
+      ++result.resilience.rounds_skipped;
+      EmitRoundSkipped("FED-PUB", round,
+                       static_cast<int>(survivors.size()),
+                       static_cast<int>(order.size()));
+      survivors.clear();
     }
 
     // Similarity-weighted personalized aggregation per surviving
@@ -128,7 +138,8 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
         weights.push_back(std::exp(options.tau * sim));
       }
       personalized[static_cast<size_t>(c)] =
-          AverageWeights(sources, weights);
+          AggregateRobust(cfg.resilience.aggregator,
+                          cfg.resilience.trim_ratio, sources, weights);
     }
 
     if (round % cfg.eval_every == 0 || round == cfg.rounds) {

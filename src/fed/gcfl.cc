@@ -82,6 +82,8 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
     TrainRoundSpec spec;
     spec.epochs = config.local_epochs;
     spec.upload_delta = true;
+    spec.resilience = &config.resilience;
+    spec.chaos_seed = config.seed ^ 0xc4a05ULL;
     std::vector<RoundClientResult> outcomes = RunTrainingRound(
         ps, pool, clients, everyone, round,
         [&](int32_t c) -> const std::vector<Matrix>& {
@@ -89,14 +91,17 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
               cluster[static_cast<size_t>(c)])];
         },
         spec);
+    result.resilience.Add(TallyRoundResilience(outcomes));
 
     std::vector<std::vector<Matrix>> uploads(static_cast<size_t>(n));
     std::vector<std::vector<float>> updates(static_cast<size_t>(n));
     std::vector<bool> participated(static_cast<size_t>(n), false);
+    int num_participants = 0;
     for (RoundClientResult& r : outcomes) {
       if (!r.participated) continue;
       const auto c = static_cast<size_t>(r.client);
       participated[c] = true;
+      ++num_participants;
       uploads[c] = std::move(r.upload);
       updates[c] = Flatten(r.delta_upload);
       auto& w = windows[c];
@@ -104,30 +109,43 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
       while (static_cast<int>(w.size()) > options.window) w.pop_front();
     }
 
+    // Round-level quorum: below it, every cluster keeps its previous
+    // weights and the split criterion is not evaluated this round.
+    const bool quorum = QuorumMet(config.resilience, num_participants, n);
+    if (!quorum) {
+      ++result.resilience.rounds_skipped;
+      EmitRoundSkipped("GCFL+", round, num_participants, n);
+    }
+
     // Per-cluster aggregation over this round's survivors; a cluster whose
     // members all dropped keeps its previous weights.
-    std::vector<std::vector<Matrix>> prev_weights =
-        std::move(cluster_weights);
-    cluster_weights.assign(static_cast<size_t>(num_clusters), {});
-    for (int32_t k = 0; k < num_clusters; ++k) {
-      std::vector<std::vector<Matrix>> members;
-      std::vector<double> sizes;
-      for (int32_t c = 0; c < n; ++c) {
-        if (cluster[static_cast<size_t>(c)] != k) continue;
-        if (!participated[static_cast<size_t>(c)]) continue;
-        members.push_back(uploads[static_cast<size_t>(c)]);
-        sizes.push_back(static_cast<double>(std::max<int64_t>(
-            1, clients[static_cast<size_t>(c)]->num_train())));
+    if (quorum) {
+      std::vector<std::vector<Matrix>> prev_weights =
+          std::move(cluster_weights);
+      cluster_weights.assign(static_cast<size_t>(num_clusters), {});
+      for (int32_t k = 0; k < num_clusters; ++k) {
+        std::vector<std::vector<Matrix>> members;
+        std::vector<double> sizes;
+        for (int32_t c = 0; c < n; ++c) {
+          if (cluster[static_cast<size_t>(c)] != k) continue;
+          if (!participated[static_cast<size_t>(c)]) continue;
+          members.push_back(uploads[static_cast<size_t>(c)]);
+          sizes.push_back(static_cast<double>(std::max<int64_t>(
+              1, clients[static_cast<size_t>(c)]->num_train())));
+        }
+        cluster_weights[static_cast<size_t>(k)] =
+            members.empty()
+                ? prev_weights[static_cast<size_t>(k)]
+                : AggregateRobust(config.resilience.aggregator,
+                                  config.resilience.trim_ratio, members,
+                                  sizes);
       }
-      cluster_weights[static_cast<size_t>(k)] =
-          members.empty() ? prev_weights[static_cast<size_t>(k)]
-                          : AverageWeights(members, sizes);
     }
 
     // GCFL split criterion per cluster, over members whose signature
     // window has data (a client lost to faults before its first round
     // contributes nothing).
-    for (int32_t k = 0; k < num_clusters; ++k) {
+    for (int32_t k = 0; quorum && k < num_clusters; ++k) {
       std::vector<int32_t> members;
       for (int32_t c = 0; c < n; ++c) {
         if (cluster[static_cast<size_t>(c)] != k) continue;

@@ -1,0 +1,233 @@
+#include "fed/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "fed/federation.h"
+#include "tensor/matrix_ops.h"
+
+namespace adafgl {
+
+namespace {
+
+/// SplitMix64 finalizer (same construction as comm::LinkModel's event
+/// coins, independent salt space).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || !std::isfinite(parsed)) return fallback;
+  return parsed;
+}
+
+/// Mean of the `vals[k, n-k)` slice of an already-sorted buffer.
+float TrimmedMeanOf(std::vector<float>* vals, double trim_ratio) {
+  const auto n = static_cast<int64_t>(vals->size());
+  if (n == 0) return 0.0f;
+  std::sort(vals->begin(), vals->end());
+  auto k = static_cast<int64_t>(
+      std::floor(trim_ratio * static_cast<double>(n)));
+  if (2 * k >= n) k = (n - 1) / 2;  // Always keep at least one value.
+  double sum = 0.0;
+  for (int64_t i = k; i < n - k; ++i) sum += (*vals)[static_cast<size_t>(i)];
+  return static_cast<float>(sum / static_cast<double>(n - 2 * k));
+}
+
+float MedianOf(std::vector<float>* vals) {
+  const auto n = static_cast<int64_t>(vals->size());
+  if (n == 0) return 0.0f;
+  std::sort(vals->begin(), vals->end());
+  const auto mid = static_cast<size_t>(n / 2);
+  if (n % 2 == 1) return (*vals)[mid];
+  return 0.5f * ((*vals)[mid - 1] + (*vals)[mid]);
+}
+
+}  // namespace
+
+Result<Aggregator> ParseAggregator(const std::string& name) {
+  if (name == "mean") return Aggregator::kMean;
+  if (name == "trimmed_mean") return Aggregator::kTrimmedMean;
+  if (name == "coordinate_median") return Aggregator::kCoordinateMedian;
+  return Status::InvalidArgument(
+      "unknown aggregator '" + name +
+      "' (expected mean | trimmed_mean | coordinate_median)");
+}
+
+const char* AggregatorName(Aggregator aggregator) {
+  switch (aggregator) {
+    case Aggregator::kMean: return "mean";
+    case Aggregator::kTrimmedMean: return "trimmed_mean";
+    case Aggregator::kCoordinateMedian: return "coordinate_median";
+  }
+  return "mean";
+}
+
+Status ResilienceOptions::Validate() const {
+  if (!(trim_ratio >= 0.0 && trim_ratio < 0.5))
+    return Status::InvalidArgument(
+        "ResilienceOptions.trim_ratio must be in [0, 0.5)");
+  if (!(min_participation >= 0.0 && min_participation <= 1.0))
+    return Status::InvalidArgument(
+        "ResilienceOptions.min_participation must be in [0, 1]");
+  if (over_select < 0.0)
+    return Status::InvalidArgument(
+        "ResilienceOptions.over_select must be >= 0");
+  if (max_update_norm < 0.0)
+    return Status::InvalidArgument(
+        "ResilienceOptions.max_update_norm must be >= 0");
+  if (!(nan_upload_prob >= 0.0 && nan_upload_prob <= 1.0))
+    return Status::InvalidArgument(
+        "ResilienceOptions.nan_upload_prob must be in [0, 1]");
+  return Status::Ok();
+}
+
+ResilienceOptions ResilienceFromEnv(ResilienceOptions base) {
+  const char* agg = std::getenv("ADAFGL_AGGREGATOR");
+  if (agg != nullptr && agg[0] != '\0') {
+    Result<Aggregator> parsed = ParseAggregator(agg);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "ADAFGL_AGGREGATOR: %s\n",
+                   parsed.status().ToString().c_str());
+      std::abort();
+    }
+    base.aggregator = *parsed;
+  }
+  base.trim_ratio = EnvDoubleOr("ADAFGL_TRIM_RATIO", base.trim_ratio);
+  base.min_participation =
+      EnvDoubleOr("ADAFGL_MIN_PARTICIPATION", base.min_participation);
+  base.over_select = EnvDoubleOr("ADAFGL_OVER_SELECT", base.over_select);
+  base.max_update_norm =
+      EnvDoubleOr("ADAFGL_MAX_UPDATE_NORM", base.max_update_norm);
+  ADAFGL_CHECK(base.Validate().ok());
+  return base;
+}
+
+std::vector<Matrix> AggregateRobust(
+    Aggregator aggregator, double trim_ratio,
+    const std::vector<std::vector<Matrix>>& client_weights,
+    const std::vector<double>& weights) {
+  if (aggregator == Aggregator::kMean) {
+    // Delegation, not reimplementation: the default path must stay
+    // bit-identical to historical FedAvg aggregation.
+    return AverageWeights(client_weights, weights);
+  }
+  ADAFGL_CHECK(!client_weights.empty());
+  ADAFGL_CHECK(client_weights.size() == weights.size());
+  std::vector<Matrix> out;
+  out.reserve(client_weights[0].size());
+  std::vector<float> vals;
+  vals.reserve(client_weights.size());
+  for (size_t p = 0; p < client_weights[0].size(); ++p) {
+    Matrix acc(client_weights[0][p].rows(), client_weights[0][p].cols());
+    const int64_t size = acc.size();
+    for (size_t c = 0; c < client_weights.size(); ++c) {
+      ADAFGL_CHECK(client_weights[c][p].SameShape(acc));
+    }
+    float* dst = acc.data();
+    for (int64_t i = 0; i < size; ++i) {
+      vals.clear();
+      for (size_t c = 0; c < client_weights.size(); ++c) {
+        const float v = client_weights[c][p].data()[i];
+        if (std::isfinite(v)) vals.push_back(v);
+      }
+      dst[i] = aggregator == Aggregator::kTrimmedMean
+                   ? TrimmedMeanOf(&vals, trim_ratio)
+                   : MedianOf(&vals);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+bool AllFinite(const std::vector<Matrix>& weights) {
+  for (const Matrix& m : weights) {
+    const float* d = m.data();
+    const int64_t n = m.size();
+    for (int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(d[i])) return false;
+    }
+  }
+  return true;
+}
+
+bool ClipUpdateNorm(const std::vector<Matrix>& reference, double max_norm,
+                    std::vector<Matrix>* upload) {
+  if (max_norm <= 0.0) return false;
+  ADAFGL_CHECK(upload != nullptr && upload->size() == reference.size());
+  double sq = 0.0;
+  for (size_t p = 0; p < upload->size(); ++p) {
+    ADAFGL_CHECK((*upload)[p].SameShape(reference[p]));
+    const float* u = (*upload)[p].data();
+    const float* r = reference[p].data();
+    const int64_t n = (*upload)[p].size();
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(u[i]) - static_cast<double>(r[i]);
+      sq += d * d;
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (!(norm > max_norm)) return false;  // Also covers NaN norms (rejected
+                                         // separately by AllFinite).
+  const double scale = max_norm / norm;
+  for (size_t p = 0; p < upload->size(); ++p) {
+    float* u = (*upload)[p].data();
+    const float* r = reference[p].data();
+    const int64_t n = (*upload)[p].size();
+    for (int64_t i = 0; i < n; ++i) {
+      u[i] = static_cast<float>(
+          static_cast<double>(r[i]) +
+          scale * (static_cast<double>(u[i]) - static_cast<double>(r[i])));
+    }
+  }
+  return true;
+}
+
+bool QuorumMet(const ResilienceOptions& options, int participants,
+               int sampled) {
+  if (participants <= 0) return false;
+  return static_cast<double>(participants) >=
+         options.min_participation * static_cast<double>(sampled);
+}
+
+int32_t OverSelectedCount(const ResilienceOptions& options, int32_t base,
+                          int32_t n) {
+  if (options.over_select <= 0.0) return std::min(base, n);
+  const auto selected = static_cast<int32_t>(std::ceil(
+      static_cast<double>(base) * (1.0 + options.over_select)));
+  return std::min(std::max(selected, base), n);
+}
+
+std::vector<int32_t> SampleParticipants(Rng& rng, int32_t n, int32_t take) {
+  ADAFGL_CHECK(n > 0 && take > 0 && take <= n);
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+  }
+  order.resize(static_cast<size_t>(take));
+  return order;
+}
+
+bool ChaosSchedule::PoisonUpload(int round, int32_t client) const {
+  if (nan_upload_prob_ <= 0.0) return false;
+  uint64_t event = seed_ ^ 0x9a11ab1eULL;
+  event = Mix64(event ^ static_cast<uint64_t>(round));
+  event = Mix64(event ^ (static_cast<uint64_t>(client) << 16));
+  const double u =
+      static_cast<double>(Mix64(event) >> 11) * 0x1.0p-53;
+  return u < nan_upload_prob_;
+}
+
+}  // namespace adafgl

@@ -1,0 +1,140 @@
+#ifndef ADAFGL_FED_RESILIENCE_H_
+#define ADAFGL_FED_RESILIENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace adafgl {
+
+/// Server-side aggregation rule applied to the surviving client uploads.
+///
+/// `kMean` is the historical size-weighted FedAvg average (bit-identical to
+/// AverageWeights). The robust variants defend the global model against
+/// corrupted or adversarial uploads at the cost of statistical efficiency:
+/// both drop non-finite values per coordinate before combining, so a NaN
+/// client can never poison the aggregate.
+enum class Aggregator {
+  kMean,              ///< Weighted mean (FedAvg, Eq. 3-4).
+  kTrimmedMean,       ///< Per-coordinate trimmed mean (trim_ratio per end).
+  kCoordinateMedian,  ///< Per-coordinate median.
+};
+
+/// Parses an ADAFGL_AGGREGATOR value: "mean", "trimmed_mean",
+/// "coordinate_median". InvalidArgument on anything else.
+Result<Aggregator> ParseAggregator(const std::string& name);
+
+/// Canonical name of an aggregator (inverse of ParseAggregator).
+const char* AggregatorName(Aggregator aggregator);
+
+/// \brief Fault-tolerance policy of one federated run.
+///
+/// Defaults are chosen so a fault-free run is bit-identical to the
+/// pre-resilience implementation: mean aggregation, no over-selection, no
+/// quorum, no clipping. `reject_nonfinite` defaults on because scanning a
+/// finite upload has no effect on it — only actually-poisoned updates are
+/// dropped.
+struct ResilienceOptions {
+  Aggregator aggregator = Aggregator::kMean;
+  /// Fraction of participants trimmed from EACH end per coordinate under
+  /// kTrimmedMean, in [0, 0.5).
+  double trim_ratio = 0.2;
+  /// Minimum fraction of the sampled clients that must complete the round
+  /// for aggregation to proceed; below it the round is skipped and the
+  /// previous global model is reused. A round with zero participants is
+  /// always skipped.
+  double min_participation = 0.0;
+  /// Straggler over-selection: sample ceil(base * (1 + over_select)) extra
+  /// clients so deadline cuts and dropouts still leave a quorum.
+  double over_select = 0.0;
+  /// L2-norm clip of (upload - broadcast) applied server-side; 0 disables.
+  double max_update_norm = 0.0;
+  /// Reject uploads containing NaN/Inf before they reach the aggregator.
+  bool reject_nonfinite = true;
+  /// Chaos injection (harness/tests only): per-(round, client) probability
+  /// that the client uploads NaN-poisoned weights.
+  double nan_upload_prob = 0.0;
+
+  /// InvalidArgument naming the offending field; Ok when usable.
+  Status Validate() const;
+};
+
+/// Applies ADAFGL_AGGREGATOR / ADAFGL_TRIM_RATIO / ADAFGL_MIN_PARTICIPATION
+/// / ADAFGL_OVER_SELECT / ADAFGL_MAX_UPDATE_NORM overrides to `base`.
+/// Aborts on an unparsable aggregator name (mirrors CreateModel).
+ResilienceOptions ResilienceFromEnv(ResilienceOptions base = {});
+
+/// Per-run tallies of the recovery paths, reported next to CommStats.
+struct ResilienceStats {
+  /// Uploads rejected for NaN/Inf content.
+  int64_t rejected_updates = 0;
+  /// Uploads whose delta exceeded max_update_norm and was scaled down.
+  int64_t clipped_updates = 0;
+  /// Rounds skipped for missing quorum (previous global reused).
+  int64_t rounds_skipped = 0;
+
+  void Add(const ResilienceStats& o) {
+    rejected_updates += o.rejected_updates;
+    clipped_updates += o.clipped_updates;
+    rounds_skipped += o.rounds_skipped;
+  }
+};
+
+/// Robust weighted aggregation of client weight lists. Under kMean this is
+/// exactly AverageWeights (bit-identical); the robust rules ignore the
+/// weights' relative sizes beyond participation and drop non-finite
+/// entries per coordinate (falling back to 0 for a coordinate with no
+/// finite value at all). All lists must be shape-compatible.
+std::vector<Matrix> AggregateRobust(
+    Aggregator aggregator, double trim_ratio,
+    const std::vector<std::vector<Matrix>>& client_weights,
+    const std::vector<double>& weights);
+
+/// True when every entry of every matrix is finite.
+bool AllFinite(const std::vector<Matrix>& weights);
+
+/// Scales (upload - reference) down to L2 norm `max_norm` when it exceeds
+/// it; returns true iff clipping fired. Shapes must match.
+bool ClipUpdateNorm(const std::vector<Matrix>& reference, double max_norm,
+                    std::vector<Matrix>* upload);
+
+/// Whether a round with `participants` of `sampled` clients may aggregate.
+/// Zero participants never meet quorum.
+bool QuorumMet(const ResilienceOptions& options, int participants,
+               int sampled);
+
+/// Sample size after over-selection, capped at `n`.
+int32_t OverSelectedCount(const ResilienceOptions& options, int32_t base,
+                          int32_t n);
+
+/// Fisher-Yates participant sampling, bit-identical to the historical
+/// inline loops: shuffles [0, n) with `rng` and keeps the first `take`.
+std::vector<int32_t> SampleParticipants(Rng& rng, int32_t n, int32_t take);
+
+/// \brief Deterministic chaos schedule for client-side fault injection.
+///
+/// Every decision is a pure function of (seed, round, client) — never of
+/// call order or thread schedule — so a chaos run replays the identical
+/// fault sequence under any worker-thread count.
+class ChaosSchedule {
+ public:
+  ChaosSchedule(uint64_t seed, double nan_upload_prob)
+      : seed_(seed), nan_upload_prob_(nan_upload_prob) {}
+
+  /// Whether `client` uploads NaN-poisoned weights in `round`.
+  bool PoisonUpload(int round, int32_t client) const;
+
+  double nan_upload_prob() const { return nan_upload_prob_; }
+
+ private:
+  uint64_t seed_;
+  double nan_upload_prob_;
+};
+
+}  // namespace adafgl
+
+#endif  // ADAFGL_FED_RESILIENCE_H_

@@ -1,6 +1,7 @@
 #include "fed/transport.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/log.h"
 #include "obs/registry.h"
@@ -17,13 +18,24 @@ std::vector<RoundClientResult> RunTrainingRound(
   std::vector<RoundClientResult> results(order.size());
   obs::Span round_span("fed.round");
   ps.BeginRound(round, order);
+  const bool checkpointing = ps.options().link.crash_prob > 0.0;
+  const ResilienceOptions* res = spec.resilience;
+  const ChaosSchedule chaos(spec.chaos_seed,
+                            res != nullptr ? res->nan_upload_prob : 0.0);
   pool.ParallelFor(order.size(), [&](size_t i) {
     const int32_t c = order[i];
     RoundClientResult& out = results[i];
     out.client = c;
+    FedClient& client = *clients[static_cast<size_t>(c)];
+    if (ps.ClientCrashed(c)) {
+      // The crash wiped the client's in-memory state; it rejoins from its
+      // last checkpoint (or cold) and sits this round out.
+      client.CrashAndRestore();
+      out.crashed = true;
+      return;
+    }
     if (!ps.ClientActive(c)) return;  // Dropped out this round.
     obs::Span client_span("fed.client_round");
-    FedClient& client = *clients[static_cast<size_t>(c)];
 
     std::optional<std::vector<Matrix>> broadcast =
         ps.Downlink(c, comm::MessageType::kWeights, weights_for(c));
@@ -32,8 +44,16 @@ std::vector<RoundClientResult> RunTrainingRound(
 
     out.loss = client.TrainEpochs(spec.epochs);
 
+    std::vector<Matrix> to_send = client.Weights();
+    if (chaos.nan_upload_prob() > 0.0 && chaos.PoisonUpload(round, c)) {
+      // Chaos injection: this client's upload is garbage end to end, the
+      // worst case server-side validation must absorb.
+      for (Matrix& m : to_send) {
+        m.Fill(std::numeric_limits<float>::quiet_NaN());
+      }
+    }
     std::optional<std::vector<Matrix>> upload =
-        ps.Uplink(c, comm::MessageType::kWeights, client.Weights());
+        ps.Uplink(c, comm::MessageType::kWeights, std::move(to_send));
     if (!upload.has_value()) return;  // Upload lost: can't aggregate.
     out.upload = std::move(*upload);
 
@@ -43,7 +63,30 @@ std::vector<RoundClientResult> RunTrainingRound(
       if (!delta.has_value()) return;
       out.delta_upload = std::move(*delta);
     }
+
+    if (res != nullptr) {
+      if (res->reject_nonfinite &&
+          (!AllFinite(out.upload) ||
+           (spec.upload_delta && !AllFinite(out.delta_upload)))) {
+        out.rejected = true;
+        if (obs::MetricsEnabled()) {
+          static obs::Counter* const rejected =
+              obs::MetricsRegistry::Global().GetCounter(
+                  "fed.faults.rejected_update");
+          rejected->Inc();
+        }
+        return;  // A rejected upload never enters the aggregation.
+      }
+      if (res->max_update_norm > 0.0) {
+        out.clipped =
+            ClipUpdateNorm(weights_for(c), res->max_update_norm,
+                           &out.upload);
+      }
+    }
     out.participated = true;
+    // Persist the rejoin point while crashes are possible; the serialized
+    // state travels through the same wire format as checkpoint files.
+    if (checkpointing) client.SaveCheckpoint();
     if (spec.post_upload) spec.post_upload(c, client);
   });
   ps.EndRound();
@@ -61,6 +104,37 @@ double MeanParticipantLoss(const std::vector<RoundClientResult>& results) {
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
+ResilienceStats TallyRoundResilience(
+    const std::vector<RoundClientResult>& outcomes) {
+  ResilienceStats stats;
+  for (const RoundClientResult& r : outcomes) {
+    if (r.rejected) ++stats.rejected_updates;
+    if (r.clipped) ++stats.clipped_updates;
+  }
+  return stats;
+}
+
+void EmitRoundSkipped(const char* algorithm, int round, int participants,
+                      int sampled) {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const skipped =
+        obs::MetricsRegistry::Global().GetCounter("fed.rounds_skipped");
+    skipped->Inc();
+  }
+  if (obs::EventsEnabled()) {
+    obs::Event("fed.round_skipped")
+        .Str("algorithm", algorithm)
+        .I64("round", round)
+        .I64("participants", participants)
+        .I64("sampled", sampled)
+        .Emit();
+  }
+  obs::Logf(obs::LogLevel::kWarn,
+            "%s round %d: skipped below quorum (%d/%d participants), "
+            "reusing previous global model",
+            algorithm, round, participants, sampled);
+}
+
 RoundRecord MakeRoundRecord(const char* algorithm, int round,
                             const comm::ParameterServer& ps,
                             const std::vector<RoundClientResult>& outcomes,
@@ -72,16 +146,26 @@ RoundRecord MakeRoundRecord(const char* algorithm, int round,
   for (const RoundClientResult& r : outcomes) {
     if (r.participated) ++rec.participants;
   }
+  rec.quorum = outcomes.empty()
+                   ? 0.0
+                   : static_cast<double>(rec.participants) /
+                         static_cast<double>(outcomes.size());
   const comm::CommStats snap = ps.stats();
   rec.bytes_up = snap.bytes_up;
   rec.bytes_down = snap.bytes_down;
   rec.sim_seconds = snap.sim_seconds;
 
   if (obs::MetricsEnabled()) {
-    static obs::Counter* const rounds =
-        obs::MetricsRegistry::Global().GetCounter("fed.rounds");
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* const rounds = reg.GetCounter("fed.rounds");
+    static obs::Gauge* const quorum = reg.GetGauge("fed.round.quorum");
     rounds->Inc();
+    quorum->Set(rec.quorum);
   }
+  // An all-lost round gets no "fed.round" event or progress line — the
+  // round loop announces it through EmitRoundSkipped instead; the record
+  // itself still enters the history so trajectories keep full length.
+  if (rec.participants == 0) return rec;
   if (obs::EventsEnabled()) {
     obs::Event("fed.round")
         .Str("algorithm", algorithm)
@@ -89,6 +173,7 @@ RoundRecord MakeRoundRecord(const char* algorithm, int round,
         .F64("train_loss", rec.train_loss)
         .F64("test_acc", rec.test_acc)
         .I64("participants", rec.participants)
+        .F64("quorum", rec.quorum)
         .I64("bytes_up", rec.bytes_up)
         .I64("bytes_down", rec.bytes_down)
         .F64("sim_seconds", rec.sim_seconds)

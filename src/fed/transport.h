@@ -14,9 +14,17 @@ namespace adafgl {
 /// Server-side view of one client's contribution to a training round.
 struct RoundClientResult {
   int32_t client = -1;
-  /// True iff both the broadcast and the upload survived the link. Only
-  /// participating clients may enter the aggregation.
+  /// True iff both the broadcast and the upload survived the link and the
+  /// upload passed server-side validation. Only participating clients may
+  /// enter the aggregation.
   bool participated = false;
+  /// The client crashed at round start (lost its in-memory state and was
+  /// restored from checkpoint; it sits this round out).
+  bool crashed = false;
+  /// The upload arrived but was rejected for NaN/Inf content.
+  bool rejected = false;
+  /// The upload's delta exceeded max_update_norm and was scaled down.
+  bool clipped = false;
   double loss = 0.0;
   /// Decoded upload (the server's copy of the client weights).
   std::vector<Matrix> upload;
@@ -29,6 +37,12 @@ struct TrainRoundSpec {
   int epochs = 1;
   /// Also uplink TrainEpochs' weight delta (GCFL+'s gradient signature).
   bool upload_delta = false;
+  /// Server-side update validation/clipping policy; null disables (the
+  /// pointed-to options must outlive the round). At defaults behavior is
+  /// unchanged apart from the finite-ness scan.
+  const ResilienceOptions* resilience = nullptr;
+  /// Seed of the chaos fault-injection schedule (nan_upload_prob draws).
+  uint64_t chaos_seed = 0;
   /// Optional extra work on the worker thread after a successful upload —
   /// e.g. FED-PUB's functional-embedding computation + uplink. Runs only
   /// for participating clients.
@@ -52,6 +66,18 @@ std::vector<RoundClientResult> RunTrainingRound(
 
 /// Sum of participant losses / number of participants (0 when none).
 double MeanParticipantLoss(const std::vector<RoundClientResult>& results);
+
+/// Tallies the per-client recovery flags of one round's outcomes into a
+/// ResilienceStats increment (rejected/clipped counts; round skips are the
+/// round loop's own decision).
+ResilienceStats TallyRoundResilience(
+    const std::vector<RoundClientResult>& outcomes);
+
+/// Telemetry for a round abandoned below quorum: "fed.rounds_skipped"
+/// counter, structured "fed.round_skipped" event, warn-level log line. The
+/// round loop reuses the previous global model instead of aggregating.
+void EmitRoundSkipped(const char* algorithm, int round, int participants,
+                      int sampled);
 
 /// Builds the per-round history record every federated round loop appends:
 /// loss/accuracy from the outcomes, participant count, and the server's

@@ -51,4 +51,33 @@ void Adam::Step() {
   }
 }
 
+std::vector<Matrix> Adam::ExportState() const {
+  std::vector<Matrix> state;
+  state.reserve(m_.size() + v_.size());
+  for (const Matrix& m : m_) state.push_back(m);
+  for (const Matrix& v : v_) state.push_back(v);
+  return state;
+}
+
+void Adam::ImportState(const std::vector<Matrix>& moments,
+                       int64_t step_count) {
+  ADAFGL_CHECK(moments.size() == m_.size() + v_.size());
+  ADAFGL_CHECK(step_count >= 0);
+  for (size_t k = 0; k < m_.size(); ++k) {
+    ADAFGL_CHECK(moments[k].SameShape(m_[k]));
+    m_[k] = moments[k];
+  }
+  for (size_t k = 0; k < v_.size(); ++k) {
+    ADAFGL_CHECK(moments[m_.size() + k].SameShape(v_[k]));
+    v_[k] = moments[m_.size() + k];
+  }
+  t_ = step_count;
+}
+
+void Adam::ResetState() {
+  for (Matrix& m : m_) m.Zero();
+  for (Matrix& v : v_) v.Zero();
+  t_ = 0;
+}
+
 }  // namespace adafgl

@@ -52,6 +52,21 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  /// Moment state for checkpointing: the per-parameter first and second
+  /// moments, concatenated [m..., v...], copied out.
+  std::vector<Matrix> ExportState() const;
+
+  /// Step counter (bias-correction time) for checkpointing.
+  int64_t step_count() const { return t_; }
+
+  /// Restores moments + step counter from ExportState output (moments must
+  /// match the parameter shapes). Inverse of ExportState/step_count.
+  void ImportState(const std::vector<Matrix>& moments, int64_t step_count);
+
+  /// Drops all moment state and the step counter (fresh-start recovery for
+  /// a crashed client with no checkpoint).
+  void ResetState();
+
  private:
   float lr_;
   float weight_decay_;

@@ -171,8 +171,10 @@ TEST(ObsFedTest, BenchReportWritesSchemaDocument) {
         "rounds", "epochs", "post_epochs", "codec", "threads", "cells",
         "method", "dataset", "split", "acc_mean", "acc_std", "runs",
         "final_acc", "bytes_up", "bytes_down", "messages_up",
-        "messages_down", "drops", "dropouts", "sim_seconds", "train_loss",
-        "test_acc", "participants"}) {
+        "messages_down", "drops", "dropouts", "corruptions", "nacks",
+        "deadline_cuts", "crashes", "rejected_updates", "clipped_updates",
+        "rounds_skipped", "sim_seconds", "train_loss", "test_acc",
+        "participants", "quorum"}) {
     EXPECT_NE(doc.find(std::string("\"") + key + "\":"), std::string::npos)
         << "missing key " << key;
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Merges one or more bench.json documents into a perf-trajectory file.
 
-Input: bench.json files (schema_version 2, see src/eval/bench_json.h)
+Input: bench.json files (schema_version 2 or 3, see src/eval/bench_json.h)
 emitted by the bench binaries under ADAFGL_METRICS=1. Output: one
 BENCH_<seq>.json document summarising per-method cost:
 
@@ -44,10 +44,10 @@ def merge(docs):
     sources = []
     knobs = {}
     for doc in docs:
-        if doc.get("schema_version") != 2:
+        if doc.get("schema_version") not in (2, 3):
             sys.exit(
-                "bench_merge: expected bench.json schema_version 2, got "
-                f"{doc.get('schema_version')!r}"
+                "bench_merge: expected bench.json schema_version 2 or 3, "
+                f"got {doc.get('schema_version')!r}"
             )
         sources.append(doc.get("experiment", ""))
         if not knobs:
