@@ -8,12 +8,14 @@
 #include <vector>
 
 #include "comm/codec.h"
-#include "comm/thread_pool.h"
+#include "par/thread_pool.h"
 #include "comm/wire.h"
 #include "tensor/rng.h"
 
 namespace adafgl::comm {
 namespace {
+
+using ::adafgl::par::ThreadPool;
 
 std::vector<Matrix> GcnLikeWeights(int64_t features, int64_t hidden,
                                    int64_t classes) {

@@ -2,13 +2,37 @@
 /// every experiment is built on — SpMM, dense matmul, Louvain, the
 /// Metis-like partitioner, label propagation, HCS, and the propagation-
 /// matrix construction of AdaFGL Step 1.
+///
+/// Before the google-benchmark suite, main() runs a fixed parallel-kernel
+/// scaling suite over the adafgl::par runtime: 512x512x512 dense matmul
+/// and Cora-scale SpMM at ADAFGL_KERNEL_THREADS = 1/2/4, each rep
+/// bitwise-checked against the single-thread result (the bit-identity
+/// contract of src/par). With ADAFGL_BENCH_JSON=<path> the suite writes a
+/// bench.json document that tools/bench_runner.sh merges into the
+/// BENCH_<seq>.json perf trajectory.
+///
+///   ./build/bench/micro_kernels [--benchmark_filter=...]
+///   ADAFGL_MICRO_REPS=5 ./build/bench/micro_kernels
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/label_propagation.h"
 #include "core/propagation_matrix.h"
 #include "data/synthetic.h"
+#include "obs/json.h"
 #include "partition/louvain.h"
 #include "partition/metis_like.h"
+#include "par/par.h"
 #include "tensor/matrix_ops.h"
 
 namespace adafgl {
@@ -92,7 +116,182 @@ void BM_PropagationMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagationMatrix)->Arg(256)->Arg(512);
 
+// ---------------------------------------------------------------------
+// Parallel-kernel scaling suite (adafgl::par).
+
+struct KernelResult {
+  std::string method;      // e.g. "kernel.matmul.512x512x512.t2"
+  int threads = 1;
+  double wall_seconds = 0.0;  // Min over ADAFGL_MICRO_REPS reps.
+  int64_t flops = 0;          // Multiply-adds * 2 for one invocation.
+};
+
+int EnvIntOr(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::atoi(v) : fallback;
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+/// Runs `fn` (one kernel invocation returning its result) `reps` times at
+/// each thread count, keeping the min wall time; every result must be
+/// bit-identical to the single-thread one.
+template <typename Fn>
+void RunScalingCase(const std::string& name, int64_t flops, int reps,
+                    const std::vector<int>& thread_counts, Fn&& fn,
+                    std::vector<KernelResult>* out) {
+  Matrix golden;
+  for (int threads : thread_counts) {
+    par::ResetKernelPoolForTest(threads);
+    KernelResult r;
+    r.method = name + ".t" + std::to_string(threads);
+    r.threads = threads;
+    r.flops = flops;
+    r.wall_seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Matrix result = fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s =
+          std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+              .count();
+      if (rep == 0 || s < r.wall_seconds) r.wall_seconds = s;
+      if (threads == thread_counts.front() && rep == 0) {
+        golden = std::move(result);
+      } else if (!BitEqual(result, golden)) {
+        std::fprintf(stderr,
+                     "FAIL: %s not bit-identical to t=%d result\n",
+                     r.method.c_str(), thread_counts.front());
+        std::exit(1);
+      }
+    }
+    out->push_back(r);
+  }
+}
+
+std::vector<KernelResult> RunScalingSuite(int reps) {
+  const std::vector<int> threads = {1, 2, 4};
+  std::vector<KernelResult> results;
+
+  // 512x512x512 dense matmul (Gaussian operands: no zero-skip shortcut,
+  // so the nominal 2*m*k*n is the executed work).
+  {
+    Rng rng(7);
+    const Matrix a = Matrix::Gaussian(512, 512, 1.0f, rng);
+    const Matrix b = Matrix::Gaussian(512, 512, 1.0f, rng);
+    RunScalingCase("kernel.matmul.512x512x512", 2LL * 512 * 512 * 512, reps,
+                   threads, [&] { return MatMul(a, b); }, &results);
+  }
+
+  // Cora-scale SpMM: GCN-normalized SBM adjacency at Cora's node/edge/
+  // feature counts (2708 nodes, 5429 undirected edges, 1433 features).
+  {
+    SbmParams p;
+    p.num_nodes = 2708;
+    p.num_classes = 7;
+    p.num_edges = 5429;
+    p.edge_homophily = 0.81;
+    p.feature_dim = 1433;
+    Rng rng(8);
+    Graph g = GenerateSbmGraph(p, rng);
+    CsrMatrix norm = GcnNormalized(g.adj);
+    const int64_t flops = 2 * norm.nnz() * g.features.cols();
+    RunScalingCase("kernel.spmm.cora", flops, reps, threads,
+                   [&] { return norm.Multiply(g.features); }, &results);
+    RunScalingCase("kernel.spmm_t.cora", flops, reps, threads,
+                   [&] { return norm.MultiplyTranspose(g.features); },
+                   &results);
+  }
+
+  par::ResetKernelPoolForTest(0);  // Back to the environment default.
+  return results;
+}
+
+void PrintScalingReport(const std::vector<KernelResult>& results) {
+  std::printf("%-28s %7s %12s %10s %9s\n", "kernel", "threads", "seconds",
+              "gflop/s", "speedup");
+  double t1_seconds = 0.0;
+  for (const KernelResult& r : results) {
+    if (r.threads == 1) t1_seconds = r.wall_seconds;
+    const double gflops =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.flops) / r.wall_seconds / 1e9
+            : 0.0;
+    const double speedup =
+        r.wall_seconds > 0.0 ? t1_seconds / r.wall_seconds : 0.0;
+    std::printf("%-28s %7d %12.6f %10.2f %8.2fx\n", r.method.c_str(),
+                r.threads, r.wall_seconds, gflops, speedup);
+  }
+}
+
+/// Minimal bench.json (schema v3 subset) for tools/bench_merge.py: the
+/// experiment name, the suite knobs, per-method wall/flops runs, and a
+/// process perf block summing the per-run minima.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<KernelResult>& results, int reps) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(3);
+  w.Key("experiment");
+  w.String("micro_kernels");
+  w.Key("description");
+  w.String("parallel kernel scaling suite (adafgl::par)");
+  w.Key("knobs");
+  w.BeginObject();
+  w.Key("reps");
+  w.Int(reps);
+  w.Key("hardware_threads");
+  w.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  w.EndObject();
+  double total = 0.0;
+  int64_t total_flops = 0;
+  w.Key("runs");
+  w.BeginArray();
+  for (const KernelResult& r : results) {
+    w.BeginObject();
+    w.Key("method");
+    w.String(r.method);
+    w.Key("threads");
+    w.Int(r.threads);
+    w.Key("wall_seconds");
+    w.Double(r.wall_seconds);
+    w.Key("flops");
+    w.Int(r.flops);
+    w.EndObject();
+    total += r.wall_seconds;
+    total_flops += r.flops;
+  }
+  w.EndArray();
+  w.Key("perf");
+  w.BeginObject();
+  w.Key("wall_seconds");
+  w.Double(total);
+  w.Key("flops");
+  w.Int(total_flops);
+  w.EndObject();
+  w.EndObject();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << w.str() << "\n";
+}
+
 }  // namespace
 }  // namespace adafgl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int reps = adafgl::EnvIntOr("ADAFGL_MICRO_REPS", 3);
+  const std::vector<adafgl::KernelResult> results =
+      adafgl::RunScalingSuite(reps);
+  adafgl::PrintScalingReport(results);
+  if (const char* path = std::getenv("ADAFGL_BENCH_JSON");
+      path && *path) {
+    adafgl::WriteBenchJson(path, results, reps);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

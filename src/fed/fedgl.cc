@@ -29,7 +29,7 @@ FedRunResult RunFedGL(const FederatedDataset& data, const FedConfig& config) {
   FedRunResult result;
   std::vector<Matrix> global = clients[0]->Weights();
   comm::ParameterServer ps(config.comm, n, config.seed ^ 0xc0117abULL);
-  comm::ThreadPool pool(config.comm.num_threads);
+  par::ThreadPool pool(config.comm.num_threads);
   const int32_t per_round = std::max<int32_t>(
       1, static_cast<int32_t>(std::lround(config.participation * n)));
   const int warmup = std::max(1, config.rounds / 3);

@@ -63,7 +63,7 @@ FedRunResult RunFedPub(const FederatedDataset& data, const FedConfig& config,
 
   FedRunResult result;
   comm::ParameterServer ps(cfg.comm, n, cfg.seed ^ 0xc0117abULL);
-  comm::ThreadPool pool(cfg.comm.num_threads);
+  par::ThreadPool pool(cfg.comm.num_threads);
   // Per-client personalized weights; start identical.
   std::vector<std::vector<Matrix>> personalized(
       static_cast<size_t>(n), clients[0]->Weights());

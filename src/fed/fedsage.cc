@@ -5,7 +5,7 @@
 #include <numeric>
 
 #include "comm/channel.h"
-#include "comm/thread_pool.h"
+#include "par/thread_pool.h"
 #include "nn/layers.h"
 #include "obs/trace.h"
 #include "tensor/matrix_ops.h"
@@ -182,7 +182,7 @@ FedRunResult RunFedSagePlus(const FederatedDataset& data,
   const auto n_clients = static_cast<int32_t>(mended.clients.size());
   comm::ParameterServer mend_ps(config.comm, std::max(1, n_clients),
                                 config.seed ^ 0x5a9ec033ULL);
-  comm::ThreadPool pool(config.comm.num_threads);
+  par::ThreadPool pool(config.comm.num_threads);
   Rng rng(config.seed ^ 0x5a9eULL);
   std::vector<Rng> client_rngs;
   client_rngs.reserve(mended.clients.size());

@@ -65,7 +65,7 @@ FedRunResult RunGcflPlus(const FederatedDataset& data, const FedConfig& config,
 
   FedRunResult result;
   comm::ParameterServer ps(config.comm, n, config.seed ^ 0xc0117abULL);
-  comm::ThreadPool pool(config.comm.num_threads);
+  par::ThreadPool pool(config.comm.num_threads);
   // Cluster id per client; one cluster initially.
   std::vector<int32_t> cluster(static_cast<size_t>(n), 0);
   int32_t num_clusters = 1;

@@ -10,7 +10,7 @@
 namespace adafgl {
 
 std::vector<RoundClientResult> RunTrainingRound(
-    comm::ParameterServer& ps, comm::ThreadPool& pool,
+    comm::ParameterServer& ps, par::ThreadPool& pool,
     std::vector<std::unique_ptr<FedClient>>& clients,
     const std::vector<int32_t>& order, int round,
     const std::function<const std::vector<Matrix>&(int32_t)>& weights_for,

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "comm/channel.h"
-#include "comm/thread_pool.h"
+#include "par/thread_pool.h"
 #include "fed/federation.h"
 
 namespace adafgl {
@@ -58,7 +58,7 @@ struct TrainRoundSpec {
 /// survivors). Results are indexed like `order` and deterministic for a
 /// fixed seed regardless of the pool's thread count.
 std::vector<RoundClientResult> RunTrainingRound(
-    comm::ParameterServer& ps, comm::ThreadPool& pool,
+    comm::ParameterServer& ps, par::ThreadPool& pool,
     std::vector<std::unique_ptr<FedClient>>& clients,
     const std::vector<int32_t>& order, int round,
     const std::function<const std::vector<Matrix>&(int32_t)>& weights_for,

@@ -96,8 +96,13 @@ inline const char* CurrentFrame() {
 /// and memory attribution. Disabled path: one relaxed load.
 class KernelFrame {
  public:
-  explicit KernelFrame(const char* literal_name) {
+  /// `dedup_top` skips the push when the innermost frame already carries
+  /// this exact name — the shape of a parallel kernel whose chunk bodies
+  /// re-announce the kernel on worker threads: workers gain the frame, the
+  /// caller (which pushed it before dispatch) does not stack it twice.
+  explicit KernelFrame(const char* literal_name, bool dedup_top = false) {
     if (SpanStackEnabled()) {
+      if (dedup_top && CurrentFrame() == literal_name) return;
       PushFrame(literal_name);
       pushed_ = true;
     }

@@ -1,0 +1,48 @@
+#include "par/par.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace adafgl::par {
+
+namespace {
+
+std::mutex g_pool_mu;
+std::atomic<ThreadPool*> g_pool{nullptr};
+
+int ReadEnvThreads() {
+  const char* v = std::getenv("ADAFGL_KERNEL_THREADS");
+  if (v == nullptr || *v == '\0') return 1;
+  const int n = std::atoi(v);
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace
+
+int KernelThreads() {
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  return p != nullptr ? p->num_threads() : ReadEnvThreads();
+}
+
+ThreadPool& KernelPool() {
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  p = g_pool.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = new ThreadPool(ReadEnvThreads());  // Leaked: usable during exit.
+    g_pool.store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+void ResetKernelPoolForTest(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  ThreadPool* old = g_pool.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;  // Joins the previous workers.
+  g_pool.store(new ThreadPool(threads <= 0 ? ReadEnvThreads() : threads),
+               std::memory_order_release);
+}
+
+}  // namespace adafgl::par

@@ -1,0 +1,36 @@
+#ifndef ADAFGL_PAR_PAR_H_
+#define ADAFGL_PAR_PAR_H_
+
+#include "par/thread_pool.h"
+
+namespace adafgl::par {
+
+/// \brief Process-wide kernel parallelism (`ADAFGL_KERNEL_THREADS`).
+///
+/// The dense/sparse tensor kernels (matmul flavours, SpMM) partition their
+/// output rows over this shared pool. It is distinct from — and composes
+/// with — the per-run client pools of the federated loops
+/// (`ADAFGL_THREADS`): when both are > 1, concurrent kernel invocations
+/// from different client-training threads fall back to inline execution
+/// (one kernel job occupies the pool at a time; see ThreadPool), so the
+/// two levels never oversubscribe multiplicatively.
+///
+/// Every kernel is written so its output is bit-identical for *any* thread
+/// count, including the historical serial loops at 1 — the knob is purely
+/// a throughput lever and defaults to 1 (serial).
+
+/// Thread count the kernel pool was / will be built with:
+/// ADAFGL_KERNEL_THREADS clamped to >= 1, default 1.
+int KernelThreads();
+
+/// The lazily-initialized process-wide pool (leaked; safe during exit).
+ThreadPool& KernelPool();
+
+/// Rebuilds the kernel pool with `threads` workers (<= 0 re-reads the
+/// environment). Tests and benches only — callers must guarantee no kernel
+/// is in flight.
+void ResetKernelPoolForTest(int threads);
+
+}  // namespace adafgl::par
+
+#endif  // ADAFGL_PAR_PAR_H_

@@ -1,0 +1,138 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+
+namespace adafgl::par {
+
+ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ClaimTasks(const std::function<void(size_t)>* task,
+                            size_t n) {
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    (*task)(i);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunJob(size_t n, const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  // One dispatched job at a time: a second caller (another client-training
+  // thread, or a task reentrantly parallelizing) runs inline instead of
+  // waiting, which keeps the pool deadlock-free under nesting.
+  std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    for (size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker of the *previous* job may still be between its last task
+    // and its exit from ClaimTasks; resetting next_index_ under its feet
+    // would hand it a task of the new job bound to the old function.
+    done_cv_.wait(lock, [this] { return claimers_ == 0; });
+    job_ = &task;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    remaining_.store(static_cast<int64_t>(n), std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates in the same dynamic claiming loop.
+  ClaimTasks(&task, n);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  job_ = nullptr;
+  job_size_ = 0;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    const std::function<void(size_t)>* job = job_;
+    const size_t n = job_size_;
+    if (job == nullptr) continue;  // Job already drained before we woke.
+    ++claimers_;
+    lock.unlock();
+    ClaimTasks(job, n);
+    lock.lock();
+    if (--claimers_ == 0) done_cv_.notify_all();
+  }
+}
+
+size_t ThreadPool::AutoGrain(size_t n) const {
+  // ~4 chunks per thread: enough slack for dynamic load balancing without
+  // drowning small jobs in dispatch overhead.
+  const size_t target_chunks =
+      static_cast<size_t>(num_threads_) * 4;
+  return std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  RunJob(n, fn);
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t g = grain == 0 ? AutoGrain(n) : grain;
+  const size_t num_chunks = (n + g - 1) / g;
+  RunJob(num_chunks, [&](size_t c) {
+    const size_t begin = c * g;
+    fn(begin, std::min(n, begin + g));
+  });
+}
+
+void ThreadPool::ParallelFor2D(
+    size_t rows, size_t cols, size_t row_grain, size_t col_grain,
+    const std::function<void(size_t, size_t, size_t, size_t)>& fn) {
+  if (rows == 0 || cols == 0) return;
+  // Auto-size the row axis against the thread count and keep full column
+  // strips by default — row-partitioned kernels want wide tiles.
+  const size_t rg = row_grain == 0 ? AutoGrain(rows) : row_grain;
+  const size_t cg = col_grain == 0 ? cols : col_grain;
+  const size_t row_tiles = (rows + rg - 1) / rg;
+  const size_t col_tiles = (cols + cg - 1) / cg;
+  RunJob(row_tiles * col_tiles, [&](size_t t) {
+    const size_t tr = t / col_tiles;
+    const size_t tc = t % col_tiles;
+    const size_t r0 = tr * rg;
+    const size_t c0 = tc * cg;
+    fn(r0, std::min(rows, r0 + rg), c0, std::min(cols, c0 + cg));
+  });
+}
+
+}  // namespace adafgl::par

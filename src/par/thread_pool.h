@@ -1,0 +1,98 @@
+#ifndef ADAFGL_PAR_THREAD_POOL_H_
+#define ADAFGL_PAR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adafgl::par {
+
+/// \brief Fixed-size worker pool shared by client-level parallelism
+/// (fed round loops, ADAFGL_THREADS) and kernel-level parallelism
+/// (matmul/SpMM row blocks, ADAFGL_KERNEL_THREADS via par::KernelPool()).
+///
+/// One pool is created per federated run and reused across rounds so
+/// worker threads are spawned once, not per round; the kernel pool is a
+/// single process-wide instance. Tasks are claimed dynamically through a
+/// lock-free atomic counter (`fetch_add`), which load-balances uneven
+/// per-task costs — size-skewed client federations and ragged sparse row
+/// blocks alike — without a mutex on the claim path.
+///
+/// With `threads <= 1` every call runs inline on the caller's thread — the
+/// default, and the configuration under which results must be bit-identical
+/// to the historical serial implementation.
+///
+/// Concurrency contract: one job runs at a time per pool. A ParallelFor*
+/// issued while another job is in flight on the same pool (from another
+/// thread, or reentrantly from a worker) executes inline on the calling
+/// thread instead of deadlocking — safe because every chunked kernel in
+/// this codebase produces partition-independent (bit-identical) results.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(i)` for every i in [0, n), blocking until all complete. The
+  /// caller's thread participates, so the pool adds `threads - 1` workers.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over a fixed decomposition of [0, n) into
+  /// contiguous chunks of at most `grain` indices (`grain == 0` picks
+  /// roughly 4 chunks per thread). Chunks are claimed dynamically but the
+  /// decomposition itself — and therefore any per-chunk partial buffers
+  /// reduced in chunk order — depends only on (n, grain, num_threads),
+  /// never on scheduling.
+  void ParallelForChunks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  /// 2-D tiled variant: decomposes the [0, rows) x [0, cols) iteration
+  /// space into a row-major grid of tiles of at most row_grain x col_grain
+  /// and runs `fn(row_begin, row_end, col_begin, col_end)` per tile
+  /// (grain == 0 auto-sizes that axis). Tile boundaries are a pure
+  /// function of the shape and grains.
+  void ParallelFor2D(
+      size_t rows, size_t cols, size_t row_grain, size_t col_grain,
+      const std::function<void(size_t, size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Dispatches `n` tasks to the pool (or runs them inline when the pool
+  /// is busy/single-threaded) and blocks until all complete.
+  void RunJob(size_t n, const std::function<void(size_t)>& task);
+  /// Claims task indices from the atomic counter until none remain.
+  void ClaimTasks(const std::function<void(size_t)>* task, size_t n);
+  size_t AutoGrain(size_t n) const;
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  // Held for the duration of one dispatched job.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for a job.
+  std::condition_variable done_cv_;   // RunJob waits for completion/drain.
+  const std::function<void(size_t)>* job_ = nullptr;  // Guarded by mu_.
+  size_t job_size_ = 0;               // Guarded by mu_.
+  uint64_t generation_ = 0;           // Guarded by mu_; bumped per job.
+  int claimers_ = 0;                  // Workers inside ClaimTasks (mu_).
+  bool shutdown_ = false;             // Guarded by mu_.
+
+  /// Next task index to claim — the lock-free dynamic distribution point.
+  /// Monotonically overshoots job_size_ by at most the worker count, and
+  /// is only reset once every claimer of the previous job has drained.
+  std::atomic<size_t> next_index_{0};
+  /// Tasks not yet finished; the final decrement wakes RunJob.
+  std::atomic<int64_t> remaining_{0};
+};
+
+}  // namespace adafgl::par
+
+#endif  // ADAFGL_PAR_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "obs/prof.h"
 #include "obs/registry.h"
+#include "par/par.h"
 
 namespace adafgl {
 
@@ -66,15 +67,35 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
   if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(rows_, x.cols());
   const int64_t d = x.cols();
-  for (int32_t r = 0; r < rows_; ++r) {
-    float* yr = y.row(r);
-    for (int64_t p = indptr_[static_cast<size_t>(r)];
-         p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
-      const float v = values_[static_cast<size_t>(p)];
-      const float* xr = x.row(indices_[static_cast<size_t>(p)]);
-      for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1) {
+    for (int32_t r = 0; r < rows_; ++r) {
+      float* yr = y.row(r);
+      for (int64_t p = indptr_[static_cast<size_t>(r)];
+           p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const float v = values_[static_cast<size_t>(p)];
+        const float* xr = x.row(indices_[static_cast<size_t>(p)]);
+        for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+      }
     }
+    return y;
   }
+  // Row-partitioned: each output row is owned by one chunk and accumulated
+  // in the same p-ascending order as the serial loop, so the partition
+  // cannot change the bits.
+  pool.ParallelForChunks(
+      static_cast<size_t>(rows_), 0, [&](size_t r0, size_t r1) {
+        obs::prof::KernelFrame chunk_frame("tensor.spmm",
+                                           /*dedup_top=*/true);
+        for (size_t r = r0; r < r1; ++r) {
+          float* yr = y.row(static_cast<int64_t>(r));
+          for (int64_t p = indptr_[r]; p < indptr_[r + 1]; ++p) {
+            const float v = values_[static_cast<size_t>(p)];
+            const float* xr = x.row(indices_[static_cast<size_t>(p)]);
+            for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+          }
+        }
+      });
   return y;
 }
 
@@ -84,15 +105,91 @@ Matrix CsrMatrix::MultiplyTranspose(const Matrix& x) const {
   if (obs::MetricsEnabled()) CountSpMM(nnz(), x.cols());
   Matrix y(cols_, x.cols());
   const int64_t d = x.cols();
-  for (int32_t r = 0; r < rows_; ++r) {
-    const float* xr = x.row(r);
-    for (int64_t p = indptr_[static_cast<size_t>(r)];
-         p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
-      const float v = values_[static_cast<size_t>(p)];
-      float* yr = y.row(indices_[static_cast<size_t>(p)]);
-      for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1 || nnz() == 0) {
+    for (int32_t r = 0; r < rows_; ++r) {
+      const float* xr = x.row(r);
+      for (int64_t p = indptr_[static_cast<size_t>(r)];
+           p < indptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const float v = values_[static_cast<size_t>(p)];
+        float* yr = y.row(indices_[static_cast<size_t>(p)]);
+        for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+      }
     }
+    return y;
   }
+  // The serial loop scatters into y.row(col) — racy under a row partition.
+  // Instead, build a CSC view (entries grouped by column, input rows
+  // ascending within each column) and *gather* per output row. Per output
+  // element the contributions then arrive in exactly the serial r-ascending
+  // order, so the result is bit-identical to the scatter for any thread
+  // count. The CSC layout itself is built from per-chunk integer column
+  // histograms; integer sums are order-independent and the chunk-major,
+  // row-ascending fill yields a unique layout, so any chunking produces
+  // identical csc arrays.
+  const size_t rows = static_cast<size_t>(rows_);
+  const size_t cols = static_cast<size_t>(cols_);
+  const size_t n_chunks =
+      std::min(rows, static_cast<size_t>(pool.num_threads()));
+  std::vector<size_t> bounds(n_chunks + 1);
+  for (size_t c = 0; c <= n_chunks; ++c) bounds[c] = rows * c / n_chunks;
+
+  // Stage 1: per-chunk histogram of column indices.
+  std::vector<std::vector<int64_t>> hist(n_chunks,
+                                         std::vector<int64_t>(cols, 0));
+  pool.ParallelFor(n_chunks, [&](size_t c) {
+    obs::prof::KernelFrame chunk_frame("tensor.spmm", /*dedup_top=*/true);
+    std::vector<int64_t>& h = hist[c];
+    for (int64_t p = indptr_[bounds[c]]; p < indptr_[bounds[c + 1]]; ++p) {
+      ++h[static_cast<size_t>(indices_[static_cast<size_t>(p)])];
+    }
+  });
+
+  // Stage 2 (serial): exclusive scan into column starts, then turn each
+  // chunk's histogram into its write cursor within the column segment.
+  std::vector<int64_t> col_ptr(cols + 1, 0);
+  for (size_t col = 0; col < cols; ++col) {
+    int64_t running = col_ptr[col];
+    for (size_t c = 0; c < n_chunks; ++c) {
+      const int64_t count = hist[c][col];
+      hist[c][col] = running;
+      running += count;
+    }
+    col_ptr[col + 1] = running;
+  }
+
+  // Stage 3: fill the CSC arrays. Chunks own disjoint cursor ranges per
+  // column; rows ascend within a chunk and chunks ascend by row range, so
+  // every column segment ends up globally row-ascending.
+  std::vector<int32_t> csc_rows(static_cast<size_t>(nnz()));
+  std::vector<float> csc_vals(static_cast<size_t>(nnz()));
+  pool.ParallelFor(n_chunks, [&](size_t c) {
+    obs::prof::KernelFrame chunk_frame("tensor.spmm", /*dedup_top=*/true);
+    std::vector<int64_t>& cursor = hist[c];
+    for (size_t r = bounds[c]; r < bounds[c + 1]; ++r) {
+      for (int64_t p = indptr_[r]; p < indptr_[r + 1]; ++p) {
+        const size_t col =
+            static_cast<size_t>(indices_[static_cast<size_t>(p)]);
+        const size_t pos = static_cast<size_t>(cursor[col]++);
+        csc_rows[pos] = static_cast<int32_t>(r);
+        csc_vals[pos] = values_[static_cast<size_t>(p)];
+      }
+    }
+  });
+
+  // Stage 4: gather — each output row owned by one chunk, accumulated in
+  // serial (row-ascending) order.
+  pool.ParallelForChunks(cols, 0, [&](size_t c0, size_t c1) {
+    obs::prof::KernelFrame chunk_frame("tensor.spmm", /*dedup_top=*/true);
+    for (size_t col = c0; col < c1; ++col) {
+      float* yr = y.row(static_cast<int64_t>(col));
+      for (int64_t p = col_ptr[col]; p < col_ptr[col + 1]; ++p) {
+        const float v = csc_vals[static_cast<size_t>(p)];
+        const float* xr = x.row(csc_rows[static_cast<size_t>(p)]);
+        for (int64_t j = 0; j < d; ++j) yr[j] += v * xr[j];
+      }
+    }
+  });
   return y;
 }
 

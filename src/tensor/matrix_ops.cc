@@ -1,82 +1,202 @@
 #include "tensor/matrix_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "obs/prof.h"
 #include "obs/registry.h"
+#include "par/par.h"
 
 namespace adafgl {
 
 namespace {
 
-/// Kernel accounting (ADAFGL_METRICS=1): one call counter and a
-/// multiply-add tally per matmul flavour. The pointers are resolved once;
+/// Kernel accounting (ADAFGL_METRICS=1): one call counter and a tally of
+/// the multiply-adds *actually executed* per matmul flavour. MatMul and
+/// MatMulTransA skip entries of A that are exactly zero (common for
+/// post-ReLU activations and sparse feature matrices), so their tally is
+/// 2 * nnz(A) * n rather than the nominal 2*m*k*n — the counter matches
+/// the work performed, not the dense upper bound (see DESIGN.md §9). The
+/// nonzeros are tallied inside the multiply loops (one register increment
+/// per visited entry — a separate pre-scan would rival the cost of the
+/// skipped multiply on sparse inputs). The pointers are resolved once;
 /// the disabled path is the single relaxed load in MetricsEnabled().
-inline void CountMatMul(int64_t m, int64_t k, int64_t n) {
+inline void CountMatMul(int64_t multiply_adds) {
   static obs::Counter* const calls =
       obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
   static obs::Counter* const flops =
       obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
   calls->Inc();
-  flops->Inc(2 * m * k * n);
+  flops->Inc(2 * multiply_adds);
 }
+
+/// Tiling constants for the parallel dense kernels. Blocks keep a slice
+/// of B resident in cache while several rows of A stream past it; block
+/// boundaries never reorder the per-element accumulation (the p loop
+/// stays ascending for every output element), so tiled results are
+/// bit-identical to the serial triple loops.
+constexpr int64_t kKBlock = 64;   // Rows of B kept hot per pass (MatMul).
+constexpr int64_t kJBlock = 256;  // Rows of B per dot-product strip (TransB).
+
+/// Minimum elements before an elementwise map is worth dispatching.
+constexpr int64_t kParElemMin = 1 << 15;
 
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.cols() == b.rows());
   obs::prof::KernelFrame frame("tensor.matmul");
-  if (obs::MetricsEnabled()) CountMatMul(a.rows(), a.cols(), b.cols());
-  Matrix c(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c.row(i);
-    const float* ai = a.row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      const float* bp = b.row(p);
-      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+  Matrix c(m, n);
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1) {
+    int64_t nnz = 0;
+    for (int64_t i = 0; i < m; ++i) {
+      float* ci = c.row(i);
+      const float* ai = a.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;
+        ++nnz;
+        const float* bp = b.row(p);
+        for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
     }
+    if (obs::MetricsEnabled()) CountMatMul(nnz * n);
+    return c;
   }
+  // Row-partitioned, k-blocked: each chunk owns its output rows outright
+  // (no cross-thread writes), and within a row the p accumulation order is
+  // identical to the serial loop, so any thread count produces the same
+  // bits. The nnz tally is an integer sum — order-independent, so one
+  // relaxed fetch_add per chunk keeps the counter exact.
+  std::atomic<int64_t> nnz{0};
+  pool.ParallelForChunks(
+      static_cast<size_t>(m), 0, [&](size_t r0, size_t r1) {
+        obs::prof::KernelFrame chunk_frame("tensor.matmul",
+                                           /*dedup_top=*/true);
+        int64_t chunk_nnz = 0;
+        for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+          const int64_t p1 = std::min(k, p0 + kKBlock);
+          for (int64_t i = static_cast<int64_t>(r0);
+               i < static_cast<int64_t>(r1); ++i) {
+            float* ci = c.row(i);
+            const float* ai = a.row(i);
+            for (int64_t p = p0; p < p1; ++p) {
+              const float av = ai[p];
+              if (av == 0.0f) continue;
+              ++chunk_nnz;
+              const float* bp = b.row(p);
+              for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+            }
+          }
+        }
+        nnz.fetch_add(chunk_nnz, std::memory_order_relaxed);
+      });
+  if (obs::MetricsEnabled()) CountMatMul(nnz.load(std::memory_order_relaxed) * n);
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.rows() == b.rows());
   obs::prof::KernelFrame frame("tensor.matmul");
-  if (obs::MetricsEnabled()) CountMatMul(a.cols(), a.rows(), b.cols());
-  Matrix c(a.cols(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a.row(i);
-    const float* bi = b.row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      float* cp = c.row(p);
-      for (int64_t j = 0; j < n; ++j) cp[j] += av * bi[j];
+  Matrix c(k, n);
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1) {
+    int64_t nnz = 0;
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ai = a.row(i);
+      const float* bi = b.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;
+        ++nnz;
+        float* cp = c.row(p);
+        for (int64_t j = 0; j < n; ++j) cp[j] += av * bi[j];
+      }
     }
+    if (obs::MetricsEnabled()) CountMatMul(nnz * n);
+    return c;
   }
+  // The serial loop scatters row i of A into every output row p — racy
+  // under a row-of-A partition. Partitioning the *output* rows instead
+  // turns it into a gather: each chunk scans all of A/B but only writes
+  // c[p0, p1). Per element (p, j) the contribution order stays ascending
+  // in i, exactly the serial association. Each visited nonzero is seen by
+  // exactly one chunk (the one owning its column), so the chunk tallies
+  // sum to nnz(A).
+  std::atomic<int64_t> nnz{0};
+  pool.ParallelForChunks(
+      static_cast<size_t>(k), 0, [&](size_t p0, size_t p1) {
+        obs::prof::KernelFrame chunk_frame("tensor.matmul",
+                                           /*dedup_top=*/true);
+        int64_t chunk_nnz = 0;
+        for (int64_t i = 0; i < m; ++i) {
+          const float* ai = a.row(i);
+          const float* bi = b.row(i);
+          for (int64_t p = static_cast<int64_t>(p0);
+               p < static_cast<int64_t>(p1); ++p) {
+            const float av = ai[p];
+            if (av == 0.0f) continue;
+            ++chunk_nnz;
+            float* cp = c.row(p);
+            for (int64_t j = 0; j < n; ++j) cp[j] += av * bi[j];
+          }
+        }
+        nnz.fetch_add(chunk_nnz, std::memory_order_relaxed);
+      });
+  if (obs::MetricsEnabled()) CountMatMul(nnz.load(std::memory_order_relaxed) * n);
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   ADAFGL_CHECK(a.cols() == b.cols());
-  if (obs::MetricsEnabled()) CountMatMul(a.rows(), a.cols(), b.rows());
-  Matrix c(a.rows(), b.rows());
+  // The backward-pass gradient matmul (dL/da in ops::MatMul) runs through
+  // here — without this frame, training flame graphs under-reported
+  // matmul self-time in the backward pass.
+  obs::prof::KernelFrame frame("tensor.matmul");
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a.row(i);
-    float* ci = c.row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b.row(j);
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = acc;
+  // Branch-free dot products: the full 2*m*k*n is the work performed.
+  if (obs::MetricsEnabled()) CountMatMul(m * k * n);
+  Matrix c(m, n);
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ai = a.row(i);
+      float* ci = c.row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const float* bj = b.row(j);
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
     }
+    return c;
   }
+  // Row-partitioned, j-blocked: every output element is one full-length
+  // dot product regardless of blocking, so results cannot depend on the
+  // partition.
+  pool.ParallelForChunks(
+      static_cast<size_t>(m), 0, [&](size_t r0, size_t r1) {
+        obs::prof::KernelFrame chunk_frame("tensor.matmul",
+                                           /*dedup_top=*/true);
+        for (int64_t j0 = 0; j0 < n; j0 += kJBlock) {
+          const int64_t j1 = std::min(n, j0 + kJBlock);
+          for (int64_t i = static_cast<int64_t>(r0);
+               i < static_cast<int64_t>(r1); ++i) {
+            const float* ai = a.row(i);
+            float* ci = c.row(i);
+            for (int64_t j = j0; j < j1; ++j) {
+              const float* bj = b.row(j);
+              float acc = 0.0f;
+              for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+              ci[j] = acc;
+            }
+          }
+        }
+      });
   return c;
 }
 
@@ -141,57 +261,89 @@ Matrix Transpose(const Matrix& a) {
   return c;
 }
 
+namespace {
+
+/// Runs `fn(begin, end)` over [0, n), chunked over the kernel pool when
+/// `work` (total touched elements) is big enough to amortize dispatch.
+/// Every unit is computed independently, so the partition cannot change
+/// the bits.
+template <typename Fn>
+inline void ForEachFlatChunk(int64_t n, int64_t work, Fn&& fn) {
+  par::ThreadPool& pool = par::KernelPool();
+  if (pool.num_threads() <= 1 || work < kParElemMin || n < 2) {
+    fn(int64_t{0}, n);
+    return;
+  }
+  pool.ParallelForChunks(static_cast<size_t>(n), 0,
+                         [&](size_t b, size_t e) {
+                           fn(static_cast<int64_t>(b),
+                              static_cast<int64_t>(e));
+                         });
+}
+
+}  // namespace
+
 Matrix Softmax(const Matrix& a) {
   Matrix c = a;
-  for (int64_t i = 0; i < c.rows(); ++i) {
-    float* ci = c.row(i);
-    float mx = ci[0];
-    for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < c.cols(); ++j) {
-      ci[j] = std::exp(ci[j] - mx);
-      sum += ci[j];
+  ForEachFlatChunk(c.rows(), c.size(), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* ci = c.row(i);
+      float mx = ci[0];
+      for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < c.cols(); ++j) {
+        ci[j] = std::exp(ci[j] - mx);
+        sum += ci[j];
+      }
+      const float inv = 1.0f / std::max(sum, 1e-30f);
+      for (int64_t j = 0; j < c.cols(); ++j) ci[j] *= inv;
     }
-    const float inv = 1.0f / std::max(sum, 1e-30f);
-    for (int64_t j = 0; j < c.cols(); ++j) ci[j] *= inv;
-  }
+  });
   return c;
 }
 
 Matrix LogSoftmax(const Matrix& a) {
   Matrix c = a;
-  for (int64_t i = 0; i < c.rows(); ++i) {
-    float* ci = c.row(i);
-    float mx = ci[0];
-    for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < c.cols(); ++j) sum += std::exp(ci[j] - mx);
-    const float lse = mx + std::log(std::max(sum, 1e-30f));
-    for (int64_t j = 0; j < c.cols(); ++j) ci[j] -= lse;
-  }
+  ForEachFlatChunk(c.rows(), c.size(), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* ci = c.row(i);
+      float mx = ci[0];
+      for (int64_t j = 1; j < c.cols(); ++j) mx = std::max(mx, ci[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < c.cols(); ++j) sum += std::exp(ci[j] - mx);
+      const float lse = mx + std::log(std::max(sum, 1e-30f));
+      for (int64_t j = 0; j < c.cols(); ++j) ci[j] -= lse;
+    }
+  });
   return c;
 }
 
 Matrix Relu(const Matrix& a) {
   Matrix c = a;
   float* cd = c.data();
-  for (int64_t i = 0; i < c.size(); ++i) cd[i] = std::max(cd[i], 0.0f);
+  ForEachFlatChunk(c.size(), c.size(), [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) cd[i] = std::max(cd[i], 0.0f);
+  });
   return c;
 }
 
 Matrix TanhMat(const Matrix& a) {
   Matrix c = a;
   float* cd = c.data();
-  for (int64_t i = 0; i < c.size(); ++i) cd[i] = std::tanh(cd[i]);
+  ForEachFlatChunk(c.size(), c.size(), [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) cd[i] = std::tanh(cd[i]);
+  });
   return c;
 }
 
 Matrix SigmoidMat(const Matrix& a) {
   Matrix c = a;
   float* cd = c.data();
-  for (int64_t i = 0; i < c.size(); ++i) {
-    cd[i] = 1.0f / (1.0f + std::exp(-cd[i]));
-  }
+  ForEachFlatChunk(c.size(), c.size(), [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      cd[i] = 1.0f / (1.0f + std::exp(-cd[i]));
+    }
+  });
   return c;
 }
 

@@ -1,0 +1,505 @@
+// Tests of the shared parallel kernel runtime (src/par) and the
+// parallelized tensor kernels built on it: exact index coverage and
+// inline-fallback semantics of the pool, bitwise parity of every
+// parallel kernel against the seed serial loops (including adversarial
+// shapes), thread-count invariance, the actual-work flop accounting,
+// and the MatMulTransB profiling-frame regression. Labeled `par` so the
+// tsan config vets the lock-free task claiming next to the obs lane.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/mem.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
+#include "par/par.h"
+#include "par/thread_pool.h"
+#include "tensor/csr.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adafgl {
+namespace {
+
+using ::adafgl::par::ThreadPool;
+
+// ---------------------------------------------------------------------
+// ThreadPool mechanics.
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  pool.ParallelFor(5, [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndHandlesEmpty) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "empty job ran a task"; });
+  std::atomic<int64_t> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(17, [&](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (17 * 16 / 2));
+}
+
+TEST(ThreadPoolTest, ChunksCoverRangeWithNonDividingGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelForChunks(103, 10, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  size_t next = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, next);
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, 10u);
+    next = e;
+  }
+  EXPECT_EQ(next, 103u);
+}
+
+TEST(ThreadPoolTest, ChunksAutoGrainCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  pool.ParallelForChunks(257, 0, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];  // Chunks are disjoint.
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelFor2DCoversTileGrid) {
+  ThreadPool pool(4);
+  constexpr size_t kRows = 7, kCols = 5;
+  std::vector<int> cell(kRows * kCols, 0);
+  pool.ParallelFor2D(kRows, kCols, 3, 2,
+                     [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+                       EXPECT_LE(r1 - r0, 3u);
+                       EXPECT_LE(c1 - c0, 2u);
+                       for (size_t r = r0; r < r1; ++r) {
+                         for (size_t c = c0; c < c1; ++c) {
+                           ++cell[r * kCols + c];  // Tiles are disjoint.
+                         }
+                       }
+                     });
+  for (size_t i = 0; i < cell.size(); ++i) EXPECT_EQ(cell[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelFor2DZeroColGrainMeansFullStrips) {
+  ThreadPool pool(2);
+  std::atomic<int> tiles{0};
+  pool.ParallelFor2D(8, 6, 4, 0,
+                     [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+                       EXPECT_EQ(c0, 0u);
+                       EXPECT_EQ(c1, 6u);
+                       EXPECT_LT(r0, r1);
+                       tiles.fetch_add(1);
+                     });
+  EXPECT_EQ(tiles.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionRunsInlineWithoutDeadlock) {
+  // A kernel running on the pool may itself reach a parallel kernel
+  // (e.g. a client-pool body calling MatMul). The inner job must run
+  // inline on the busy pool rather than deadlock.
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(3, [&](size_t) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner.load(), 12);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int job = 0; job < 25; ++job) {
+        pool.ParallelFor(10, [&](size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4 * 25 * 10);
+}
+
+// ---------------------------------------------------------------------
+// Kernel bit-parity. Each parallel kernel must produce bytes identical
+// to the seed serial loops — reproduced here verbatim as references —
+// for every thread count.
+
+class ParKernelTest : public ::testing::Test {
+ protected:
+  // Restore the process pool to the environment default so later suites
+  // (and other test binaries' assumptions) see an untouched runtime.
+  void TearDown() override { par::ResetKernelPoolForTest(0); }
+};
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng& rng, double zero_prob) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform() < zero_prob
+                      ? 0.0f
+                      : static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// The seed serial kernels, copied verbatim (zero-skip included): the
+// parity oracle no matter what the library paths become.
+Matrix RefMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (int64_t p = 0; p < a.cols(); ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b.row(p);
+      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += av * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix RefMatMulTransA(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    const float* bi = b.row(i);
+    for (int64_t p = 0; p < a.cols(); ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      float* cp = c.row(p);
+      for (int64_t j = 0; j < b.cols(); ++j) cp[j] += av * bi[j];
+    }
+  }
+  return c;
+}
+
+Matrix RefMatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < a.cols(); ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix RefSpMM(const CsrMatrix& a, const Matrix& x) {
+  Matrix y(a.rows(), x.cols());
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    float* yr = y.row(r);
+    a.ForEachInRow(r, [&](int32_t c, float v) {
+      const float* xr = x.row(c);
+      for (int64_t j = 0; j < x.cols(); ++j) yr[j] += v * xr[j];
+    });
+  }
+  return y;
+}
+
+Matrix RefSpMMTranspose(const CsrMatrix& a, const Matrix& x) {
+  Matrix y(a.cols(), x.cols());
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    const float* xr = x.row(r);
+    a.ForEachInRow(r, [&](int32_t c, float v) {
+      float* yr = y.row(c);
+      for (int64_t j = 0; j < x.cols(); ++j) yr[j] += v * xr[j];
+    });
+  }
+  return y;
+}
+
+CsrMatrix RandomCsr(int32_t rows, int32_t cols, int32_t entries, Rng& rng) {
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<size_t>(entries));
+  for (int32_t i = 0; i < entries; ++i) {
+    trip.push_back({static_cast<int32_t>(rng.UniformInt(rows)),
+                    static_cast<int32_t>(rng.UniformInt(cols)),
+                    static_cast<float>(rng.Normal())});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(trip));
+}
+
+// Adversarial dense shapes: degenerate vectors, non-multiples of the
+// kernel tile sizes (64/256), and a chunky mid-size case.
+struct MmShape {
+  int64_t m, k, n;
+};
+const MmShape kShapes[] = {
+    {1, 37, 19}, {37, 1, 19}, {19, 37, 1}, {65, 129, 33}, {128, 96, 257}};
+
+TEST_F(ParKernelTest, DenseKernelsBitIdenticalAcrossThreadCounts) {
+  Rng rng(123);
+  for (const MmShape& s : kShapes) {
+    // Post-ReLU-like sparsity exercises the zero-skip branch.
+    const Matrix a = RandomMatrix(s.m, s.k, rng, 0.4);
+    const Matrix b = RandomMatrix(s.k, s.n, rng, 0.0);
+    const Matrix at_b = RandomMatrix(s.m, s.n, rng, 0.0);   // TransA rhs.
+    const Matrix bt = RandomMatrix(s.n, s.k, rng, 0.0);     // TransB rhs.
+    const Matrix ref = RefMatMul(a, b);
+    const Matrix ref_ta = RefMatMulTransA(a, at_b);
+    const Matrix ref_tb = RefMatMulTransB(a, bt);
+    for (int threads : {1, 2, 8}) {
+      par::ResetKernelPoolForTest(threads);
+      EXPECT_TRUE(BitEqual(MatMul(a, b), ref))
+          << "MatMul " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+      EXPECT_TRUE(BitEqual(MatMulTransA(a, at_b), ref_ta))
+          << "TransA " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+      EXPECT_TRUE(BitEqual(MatMulTransB(a, bt), ref_tb))
+          << "TransB " << s.m << "x" << s.k << "x" << s.n << " t=" << threads;
+    }
+  }
+}
+
+TEST_F(ParKernelTest, SparseKernelsBitIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  const CsrMatrix a = RandomCsr(200, 150, 1200, rng);
+  const Matrix x = RandomMatrix(150, 17, rng, 0.0);
+  const Matrix xt = RandomMatrix(200, 17, rng, 0.0);
+  const Matrix ref = RefSpMM(a, x);
+  const Matrix ref_t = RefSpMMTranspose(a, xt);
+  for (int threads : {1, 2, 8}) {
+    par::ResetKernelPoolForTest(threads);
+    EXPECT_TRUE(BitEqual(a.Multiply(x), ref)) << "SpMM t=" << threads;
+    EXPECT_TRUE(BitEqual(a.MultiplyTranspose(xt), ref_t))
+        << "SpMM^T t=" << threads;
+  }
+}
+
+TEST_F(ParKernelTest, SparseEdgeCasesBitIdentical) {
+  Rng rng(31);
+  // Empty matrix, single dense column (every entry collides on one
+  // output row of the transpose gather), and a single-row strip.
+  const CsrMatrix empty(5, 4);
+  std::vector<Triplet> col;
+  for (int32_t r = 0; r < 64; ++r) {
+    col.push_back({r, 2, static_cast<float>(rng.Normal())});
+  }
+  const CsrMatrix one_col = CsrMatrix::FromTriplets(64, 4, std::move(col));
+  const CsrMatrix strip = RandomCsr(1, 40, 25, rng);
+  const Matrix x4 = RandomMatrix(4, 9, rng, 0.0);
+  const Matrix x64 = RandomMatrix(64, 9, rng, 0.0);
+  const Matrix x40 = RandomMatrix(40, 9, rng, 0.0);
+  const Matrix x1 = RandomMatrix(1, 9, rng, 0.0);
+  for (int threads : {1, 2, 8}) {
+    par::ResetKernelPoolForTest(threads);
+    EXPECT_TRUE(BitEqual(empty.Multiply(x4), RefSpMM(empty, x4)));
+    EXPECT_TRUE(BitEqual(empty.MultiplyTranspose(RandomMatrix(5, 3, rng, 0.0)),
+                         Matrix(4, 3)));
+    EXPECT_TRUE(BitEqual(one_col.Multiply(x4), RefSpMM(one_col, x4)));
+    EXPECT_TRUE(BitEqual(one_col.MultiplyTranspose(x64),
+                         RefSpMMTranspose(one_col, x64)));
+    EXPECT_TRUE(BitEqual(strip.Multiply(x40), RefSpMM(strip, x40)));
+    EXPECT_TRUE(
+        BitEqual(strip.MultiplyTranspose(x1), RefSpMMTranspose(strip, x1)));
+  }
+}
+
+TEST_F(ParKernelTest, ElementwiseMapsBitIdenticalAcrossThreadCounts) {
+  Rng rng(55);
+  // Big enough to cross the parallel-dispatch threshold (2^15 elements).
+  const Matrix a = RandomMatrix(300, 120, rng, 0.1);
+  par::ResetKernelPoolForTest(1);
+  const Matrix relu1 = Relu(a);
+  const Matrix tanh1 = TanhMat(a);
+  const Matrix sig1 = SigmoidMat(a);
+  const Matrix soft1 = Softmax(a);
+  const Matrix lsoft1 = LogSoftmax(a);
+  for (int threads : {2, 8}) {
+    par::ResetKernelPoolForTest(threads);
+    EXPECT_TRUE(BitEqual(Relu(a), relu1));
+    EXPECT_TRUE(BitEqual(TanhMat(a), tanh1));
+    EXPECT_TRUE(BitEqual(SigmoidMat(a), sig1));
+    EXPECT_TRUE(BitEqual(Softmax(a), soft1));
+    EXPECT_TRUE(BitEqual(LogSoftmax(a), lsoft1));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Accounting and profiling-frame regressions.
+
+class ParObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override {
+    obs::SetProfileEnabled(false);
+    obs::SetProfilePath("");
+    par::ResetKernelPoolForTest(0);
+    Reset();
+  }
+  void Reset() {
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+    obs::MetricsRegistry::Global().ResetForTest();
+    obs::prof::ResetProfilerForTest();
+    obs::mem::ResetForTest();
+  }
+};
+
+TEST_F(ParObsTest, MatMulFlopCounterMatchesActualWork) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter* flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
+  obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
+
+  Matrix a(2, 2);
+  a(0, 0) = 1.0f;
+  a(1, 1) = 2.0f;  // nnz(a) = 2 of 4.
+  Matrix b(2, 3);
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = 1.0f;
+
+  // MatMul skips the zero rows of a: 2 * nnz(a) * n = 2 * 2 * 3 = 12,
+  // not the nominal 2*m*k*n = 24.
+  int64_t before = flops->value();
+  MatMul(a, b);
+  EXPECT_EQ(flops->value() - before, 12);
+  EXPECT_EQ(calls->value(), 1);
+
+  // MatMulTransA has the same zero-skip.
+  before = flops->value();
+  MatMulTransA(a, b);
+  EXPECT_EQ(flops->value() - before, 12);
+
+  // MatMulTransB runs branch-free dot products: the full 2*m*k*n.
+  Matrix bt(4, 2);
+  before = flops->value();
+  MatMulTransB(a, bt);
+  EXPECT_EQ(flops->value() - before, 2 * 2 * 2 * 4);
+}
+
+TEST_F(ParObsTest, MatMulTransBCarriesKernelFrame) {
+  // Regression: MatMulTransB (the backward-pass gradient matmul) used to
+  // lack its tensor.matmul KernelFrame, so its allocations and samples
+  // were attributed to the caller. The result allocation must now land
+  // in the tensor.matmul bucket.
+  obs::SetMetricsEnabled(true);  // Turns the span stack on.
+  obs::mem::ResetForTest();
+  Rng rng(3);
+  const Matrix a = RandomMatrix(8, 8, rng, 0.0);
+  const Matrix b = RandomMatrix(8, 8, rng, 0.0);
+  const Matrix c = MatMulTransB(a, b);
+  ASSERT_EQ(c.rows(), 8);
+  const auto per_span = obs::mem::PerSpanSnapshot();
+  auto it = per_span.find("tensor.matmul");
+  ASSERT_NE(it, per_span.end())
+      << "MatMulTransB allocated outside a tensor.matmul frame";
+  EXPECT_GE(it->second.allocs, 1);
+}
+
+TEST_F(ParObsTest, KernelFrameDedupTopDoesNotDoubleStack) {
+  obs::SetMetricsEnabled(true);  // Turns the span stack on.
+  static const char* const kName = "par.dedup_test";
+  static const char* const kOuter = "par.dedup_outer";
+  {
+    obs::prof::KernelFrame outer(kOuter);
+    {
+      obs::prof::KernelFrame named(kName);
+      EXPECT_EQ(obs::prof::CurrentFrame(), kName);
+      {
+        obs::prof::KernelFrame dedup(kName, /*dedup_top=*/true);
+        EXPECT_EQ(obs::prof::CurrentFrame(), kName);
+      }
+      // The dedup frame must not have popped the frame it deduped onto.
+      EXPECT_EQ(obs::prof::CurrentFrame(), kName);
+    }
+    EXPECT_EQ(obs::prof::CurrentFrame(), kOuter);
+    {
+      // On a different top frame, dedup_top still pushes.
+      obs::prof::KernelFrame fresh(kName, /*dedup_top=*/true);
+      EXPECT_EQ(obs::prof::CurrentFrame(), kName);
+    }
+    EXPECT_EQ(obs::prof::CurrentFrame(), kOuter);
+  }
+}
+
+TEST_F(ParObsTest, BackwardPassMatMulShowsUpInProfiles) {
+  // End-to-end satellite check: with the sampler running, training-style
+  // forward+backward loops must attribute ticks to tensor.matmul *under*
+  // autograd.backward — the stack that was invisible before the
+  // MatMulTransB frame fix.
+  const std::string folded =
+      ::testing::TempDir() + "/adafgl_par_backward.folded";
+  std::remove(folded.c_str());
+  obs::SetProfilePath(folded);
+  obs::prof::SetProfileHz(4000);  // Fast so a short run collects ticks.
+  obs::SetProfileEnabled(true);
+  obs::prof::StartSampler();
+
+  Rng rng(9);
+  const Matrix av = RandomMatrix(128, 128, rng, 0.0);
+  const Matrix bv = RandomMatrix(128, 128, rng, 0.0);
+  const Matrix target = RandomMatrix(128, 128, rng, 0.0);
+  for (int i = 0; i < 400 && obs::prof::SampledTicks() < 100; ++i) {
+    Tensor a = MakeParam(av);
+    Tensor b = MakeParam(bv);
+    Tensor loss = ops::MseLoss(ops::MatMul(a, b), target);
+    Backward(loss);
+  }
+  obs::prof::StopSamplerAndWrite();
+  obs::SetProfileEnabled(false);
+
+  ASSERT_GT(obs::prof::SampledTicks(), 20)
+      << "sampler collected too few ticks to judge";
+  bool backward_matmul_seen = false;
+  for (const auto& [stack, ticks] : obs::prof::FoldedTicksForTest()) {
+    if (stack.find("autograd.backward") != std::string::npos &&
+        stack.find("tensor.matmul") != std::string::npos && ticks > 0) {
+      backward_matmul_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(backward_matmul_seen)
+      << "no sampled stack shows tensor.matmul under autograd.backward";
+}
+
+}  // namespace
+}  // namespace adafgl

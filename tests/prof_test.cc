@@ -160,11 +160,19 @@ TEST_F(ProfTest, ProfilerWritesValidFoldedStacksWithFullAttribution) {
     const int64_t count = std::stoll(count_str);
     EXPECT_GT(count, 0) << line;
     folded_total += count;
-    if (stack.rfind("prof.test_root", 0) == 0) rooted += count;
+    // Kernel-pool worker threads (ADAFGL_KERNEL_THREADS > 1) carry their
+    // own stacks rooted at the kernel frame they re-announce; those ticks
+    // are attributed workload too. At the default of 1 kernel thread no
+    // such stacks exist.
+    if (stack.rfind("prof.test_root", 0) == 0 ||
+        stack.rfind("tensor.", 0) == 0) {
+      rooted += count;
+    }
   }
   EXPECT_EQ(folded_total, sampled);
-  // Everything ran inside prof.test_root, so its frame must own >= 90%
-  // of the ticks (the margin absorbs samples racing span entry/exit).
+  // Everything ran inside prof.test_root (or on a kernel worker thread
+  // announcing its kernel frame), so >= 90% of the ticks must be
+  // attributed (the margin absorbs samples racing span entry/exit).
   EXPECT_GE(rooted, (sampled * 9) / 10)
       << "rooted=" << rooted << " sampled=" << sampled << "\n" << doc;
 

@@ -19,11 +19,13 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$root/build}"
 outdir="${OUT_DIR:-$root}"
 bin="$build/bench/table8_paradigm_summary"
+kernels_bin="$build/bench/micro_kernels"
 
-if [[ ! -x "$bin" ]]; then
-  echo "building table8_paradigm_summary..." >&2
+if [[ ! -x "$bin" || ! -x "$kernels_bin" ]]; then
+  echo "building table8_paradigm_summary + micro_kernels..." >&2
   cmake -B "$build" -S "$root" >/dev/null
-  cmake --build "$build" -j --target table8_paradigm_summary >/dev/null
+  cmake --build "$build" -j --target table8_paradigm_summary \
+    --target micro_kernels >/dev/null
 fi
 
 # Next sequence number: 1 + the highest BENCH_<seq>.json present.
@@ -56,8 +58,24 @@ if [[ ! -s "$tmp/table8.json" ]]; then
   exit 1
 fi
 
+# Parallel-kernel scaling suite (adafgl::par): fixed matmul/SpMM cases at
+# 1/2/4 kernel threads, bitwise-checked against single-thread. The
+# benchmark filter skips the google-benchmark section — the trajectory
+# only wants the fixed suite.
+echo "bench_runner: running micro_kernels scaling suite..." >&2
+ADAFGL_MICRO_REPS=3 ADAFGL_BENCH_JSON="$tmp/kernels.json" \
+  "$kernels_bin" --benchmark_filter=NoSuchBenchmark \
+  >"$tmp/kernels.stdout" 2>"$tmp/kernels.stderr"
+
+if [[ ! -s "$tmp/kernels.json" ]]; then
+  echo "bench_runner: FAIL: micro_kernels did not write bench.json" >&2
+  cat "$tmp/kernels.stderr" >&2
+  exit 1
+fi
+
+# table8 first: its pinned knobs label the trajectory file.
 python3 "$root/tools/bench_merge.py" --seq "$seq" --out "$out" \
-  "$tmp/table8.json"
+  "$tmp/table8.json" "$tmp/kernels.json"
 
 # Gate against the previous trajectory file (trivially OK when this is
 # the first one).
