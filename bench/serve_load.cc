@@ -1,0 +1,279 @@
+/// Closed-loop load generator for the online serving path (adafgl::serve):
+/// trains AdaFGL on the bench workload, freezes the Step-2 predictions into
+/// an embedding store, round-trips the store through the checkpoint wire
+/// format, then drives the server with Zipfian-distributed queries from a
+/// fixed worker count. Reports QPS and latency quantiles and records the
+/// schema-v4 `serve` block in bench.json.
+///
+/// Knobs (all deterministic given a seed; wall-clock obviously is not):
+///   ADAFGL_SERVE_THREADS   server worker threads        (default 2)
+///   ADAFGL_SERVE_BATCH     micro-batch flush size       (default 16)
+///   ADAFGL_SERVE_CACHE_MB  LRU result-cache budget      (default 8)
+///   ADAFGL_SERVE_QUERIES   total queries to issue       (default 20000)
+///   ADAFGL_SERVE_CLIENTS   closed-loop load workers     (default 4)
+///
+/// `serve_load --smoke` runs a small self-checked acceptance pass (no
+/// rejected requests, finite p99, warm cache) and exits non-zero on
+/// violation — the CI smoke gate.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/obs.h"
+#include "serve/server.h"
+#include "serve/store.h"
+#include "tensor/rng.h"
+
+using namespace adafgl;
+
+namespace {
+
+/// Zipfian sampler over [0, n) with exponent s, via a precomputed CDF and
+/// binary search — exact, deterministic, and fast enough for a load loop.
+class Zipf {
+ public:
+  Zipf(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = sum;
+    }
+    for (double& v : cdf_) v /= sum;
+  }
+
+  int64_t Sample(Rng& rng) const {
+    const double u = rng.Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Store shape handed to the load loop (node counts per client).
+struct StoreShape {
+  int64_t total_nodes = 0;
+  std::vector<int32_t> client_nodes;
+};
+
+struct LoadResult {
+  int64_t issued = 0;
+  int64_t failed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Closed loop: `workers` threads each keep exactly one request in flight
+/// (blocking Predict), drawing (client, node) from one Zipfian popularity
+/// ranking over all nodes; odd draws additionally ask for ego-graph
+/// smoothing. Per-worker Rng streams keep the query sequence independent
+/// of scheduling.
+LoadResult RunLoad(serve::Server& server, const StoreShape& shape,
+                   int workers, int64_t total_queries, uint64_t seed) {
+  const Zipf zipf(shape.total_nodes, 1.0);
+  std::atomic<int64_t> remaining{total_queries};
+  std::atomic<int64_t> failed{0};
+  const int64_t t0 = obs::NowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed + 17ULL * static_cast<uint64_t>(w));
+      while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        const int64_t pick = zipf.Sample(rng);
+        serve::Query q;
+        int64_t offset = pick;
+        for (size_t c = 0; c < shape.client_nodes.size(); ++c) {
+          if (offset < shape.client_nodes[c]) {
+            q.client = static_cast<int32_t>(c);
+            q.node = static_cast<int32_t>(offset);
+            break;
+          }
+          offset -= shape.client_nodes[c];
+        }
+        q.smooth = (pick & 1) != 0;
+        if (!server.Predict(q).ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadResult r;
+  r.issued = total_queries;
+  r.failed = failed.load();
+  r.wall_seconds = static_cast<double>(obs::NowNs() - t0) / 1e9;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::PrintPreamble("Serve load",
+                       "online serving: Zipfian closed-loop QPS/latency");
+
+  // --- Train + freeze. ---
+  ExperimentSpec spec;
+  spec.dataset = "Cora";
+  spec.split = "noniid";
+  spec.fed = BenchFedConfig();
+  spec.fed.seed = 555;
+  FederatedDataset data = PrepareFederatedDataset(spec, 1000);
+  AdaFglOptions opts;
+  opts.export_predictions = true;
+  std::printf("training AdaFGL (%d clients) and freezing the store...\n",
+              data.num_clients());
+  const AdaFglResult trained = RunAdaFgl(data, spec.fed, opts);
+
+  Result<serve::FrozenStore> frozen = serve::FreezeAdaFgl(trained);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "freeze failed: %s\n",
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+  // Exercise the persistence path: every served byte went through the
+  // checkpoint wire format.
+  Result<serve::FrozenStore> store =
+      serve::DeserializeStore(serve::SerializeStore(*frozen));
+  if (!store.ok()) {
+    std::fprintf(stderr, "store round-trip failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t store_bytes = store->payload_bytes();
+
+  std::vector<CsrMatrix> adjacency;
+  adjacency.reserve(static_cast<size_t>(data.num_clients()));
+  for (const Graph& g : data.clients) adjacency.push_back(g.adj);
+
+  StoreShape shape;
+  shape.total_nodes = store->total_nodes();
+  for (const serve::FrozenClient& c : store->clients) {
+    shape.client_nodes.push_back(c.num_nodes);
+  }
+
+  // --- Serve. ---
+  serve::ServeOptions serve_opts = serve::ServeOptionsFromEnv();
+  if (std::getenv("ADAFGL_SERVE_THREADS") == nullptr) {
+    serve_opts.threads = 2;
+  }
+  const int load_workers =
+      std::max(1, EnvInt("ADAFGL_SERVE_CLIENTS", 4));
+  const int64_t total_queries =
+      smoke ? 2000 : std::max(1, EnvInt("ADAFGL_SERVE_QUERIES", 20000));
+
+  Result<std::unique_ptr<serve::Server>> server = serve::Server::Create(
+      std::move(*store), std::move(adjacency), serve_opts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  serve::Server& s = **server;
+
+  std::printf("store: %d clients, %lld nodes, %s frozen\n", s.num_clients(),
+              static_cast<long long>(shape.total_nodes),
+              FormatBytes(store_bytes).c_str());
+  std::printf("serve: threads=%d batch=%d cache=%dMB | load: workers=%d "
+              "queries=%lld zipf(s=1.0)\n\n",
+              serve_opts.threads, serve_opts.batch_size, serve_opts.cache_mb,
+              load_workers, static_cast<long long>(total_queries));
+
+  const LoadResult load =
+      RunLoad(s, shape, load_workers, total_queries, /*seed=*/4242);
+  const serve::ServeStats stats = s.Stats();
+  const double qps =
+      load.wall_seconds > 0.0
+          ? static_cast<double>(stats.completed) / load.wall_seconds
+          : 0.0;
+  const double hit_rate =
+      stats.cache_hits + stats.cache_misses > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.cache_hits + stats.cache_misses)
+          : 0.0;
+
+  TablePrinter table({"metric", "value"}, 20);
+  table.PrintHeader();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", qps);
+  table.PrintRow({"qps", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f us", stats.p50_latency_ns / 1e3);
+  table.PrintRow({"p50 latency", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f us", stats.p99_latency_ns / 1e3);
+  table.PrintRow({"p99 latency", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * hit_rate);
+  table.PrintRow({"cache hit rate", buf});
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(stats.batches));
+  table.PrintRow({"micro-batches", buf});
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(stats.rejected));
+  table.PrintRow({"rejected", buf});
+
+  ServeSummary summary;
+  summary.requests = stats.submitted;
+  summary.completed = stats.completed;
+  summary.rejected = stats.rejected;
+  summary.batches = stats.batches;
+  summary.cache_hits = stats.cache_hits;
+  summary.cache_misses = stats.cache_misses;
+  summary.qps = qps;
+  summary.p50_latency_us = stats.p50_latency_ns / 1e3;
+  summary.p99_latency_us = stats.p99_latency_ns / 1e3;
+  summary.mean_latency_us = stats.mean_latency_ns / 1e3;
+  summary.store_bytes = store_bytes;
+  summary.threads = serve_opts.threads;
+  summary.batch_size = serve_opts.batch_size;
+  BenchReport::Global().SetServe(summary);
+
+  // --- Acceptance: the served rows must be the Step-2 predictions. ---
+  int64_t mismatches = 0;
+  for (int32_t c = 0; c < s.num_clients() && c < 4; ++c) {
+    const Matrix& direct = trained.client_predictions[static_cast<size_t>(c)];
+    for (int32_t v = 0; v < direct.rows(); v += 7) {
+      Result<serve::Prediction> p = s.Predict({c, v, /*smooth=*/false});
+      if (!p.ok()) {
+        ++mismatches;
+        continue;
+      }
+      if (std::memcmp(p->probs.data(), direct.row(v),
+                      static_cast<size_t>(direct.cols()) * sizeof(float)) !=
+          0) {
+        ++mismatches;
+      }
+    }
+  }
+  std::printf("\nbitwise check vs direct Step 2 inference: %s\n",
+              mismatches == 0 ? "identical" : "MISMATCH");
+
+  if (smoke) {
+    bool ok = true;
+    if (load.failed != 0 || stats.rejected != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: %lld failed, %lld rejected\n",
+                   static_cast<long long>(load.failed),
+                   static_cast<long long>(stats.rejected));
+      ok = false;
+    }
+    if (!(stats.p99_latency_ns > 0.0) || !std::isfinite(stats.p99_latency_ns)) {
+      std::fprintf(stderr, "SMOKE FAIL: p99 not positive-finite\n");
+      ok = false;
+    }
+    if (stats.cache_hits <= 0) {
+      std::fprintf(stderr, "SMOKE FAIL: cache never hit under Zipfian load\n");
+      ok = false;
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: served rows diverge from Step 2\n");
+      ok = false;
+    }
+    std::printf("serve_load smoke: %s\n", ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "nn/serialize.h"
+
 namespace adafgl::comm {
 
 namespace {
@@ -29,72 +31,8 @@ bool ReadValue(const std::string& in, size_t* offset, T* value) {
   return true;
 }
 
-// --------------------------------------------------------------------------
-// IEEE 754 binary16 conversion (round-to-nearest-even), no hardware
-// intrinsics so the wire format is identical on every build.
-
-uint16_t FloatToHalf(float f) {
-  uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  const uint32_t sign = (bits >> 16) & 0x8000u;
-  const int32_t exponent =
-      static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
-  uint32_t mantissa = bits & 0x007fffffu;
-
-  if (exponent >= 0x1f) {
-    // Overflow -> inf; NaN keeps a payload bit.
-    const uint32_t nan_bit = (((bits >> 23) & 0xffu) == 0xffu && mantissa)
-                                 ? 0x0200u
-                                 : 0u;
-    return static_cast<uint16_t>(sign | 0x7c00u | nan_bit);
-  }
-  if (exponent <= 0) {
-    if (exponent < -10) return static_cast<uint16_t>(sign);  // Underflow.
-    // Subnormal half: shift in the implicit leading 1.
-    mantissa |= 0x00800000u;
-    const int shift = 14 - exponent;
-    uint32_t half_mant = mantissa >> shift;
-    // Round to nearest even.
-    const uint32_t rem = mantissa & ((1u << shift) - 1);
-    const uint32_t halfway = 1u << (shift - 1);
-    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
-    return static_cast<uint16_t>(sign | half_mant);
-  }
-  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
-                  (mantissa >> 13);
-  const uint32_t rem = mantissa & 0x1fffu;
-  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // RNE.
-  return static_cast<uint16_t>(half);
-}
-
-float HalfToFloat(uint16_t h) {
-  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
-  const uint32_t exponent = (h >> 10) & 0x1fu;
-  uint32_t mantissa = h & 0x03ffu;
-  uint32_t bits;
-  if (exponent == 0) {
-    if (mantissa == 0) {
-      bits = sign;  // Signed zero.
-    } else {
-      // Subnormal half -> normalised float.
-      int e = -1;
-      do {
-        ++e;
-        mantissa <<= 1;
-      } while ((mantissa & 0x0400u) == 0);
-      mantissa &= 0x03ffu;
-      bits = sign | static_cast<uint32_t>(127 - 15 - e) << 23 |
-             (mantissa << 13);
-    }
-  } else if (exponent == 0x1f) {
-    bits = sign | 0x7f800000u | (mantissa << 13);  // Inf/NaN.
-  } else {
-    bits = sign | (exponent - 15 + 127) << 23 | (mantissa << 13);
-  }
-  float f;
-  std::memcpy(&f, &bits, sizeof(f));
-  return f;
-}
+// IEEE 754 binary16 conversion lives in nn/serialize.h (Fp16FromFloat /
+// Fp16ToFloat) — shared with the serve embedding store's fp16 storage.
 
 // --------------------------------------------------------------------------
 // Payload envelope: count u32, then per matrix (rows i64, cols i64, body).
@@ -175,7 +113,7 @@ class Fp16Codec final : public EnvelopeCodec {
     out->reserve(out->size() + static_cast<size_t>(m.size()) * 2);
     const float* data = m.data();
     for (int64_t i = 0; i < m.size(); ++i) {
-      AppendValue(out, FloatToHalf(data[i]));
+      AppendValue(out, Fp16FromFloat(data[i]));
     }
   }
   Status DecodeBody(const std::string& in, size_t* offset,
@@ -189,7 +127,7 @@ class Fp16Codec final : public EnvelopeCodec {
       uint16_t h;
       std::memcpy(&h, in.data() + *offset + static_cast<size_t>(i) * 2,
                   sizeof(h));
-      data[i] = HalfToFloat(h);
+      data[i] = Fp16ToFloat(h);
     }
     *offset += bytes;
     return Status::Ok();
@@ -293,6 +231,6 @@ int64_t PayloadFloatBytes(const std::vector<Matrix>& weights) {
   return total * static_cast<int64_t>(sizeof(float));
 }
 
-float Fp16RoundTrip(float value) { return HalfToFloat(FloatToHalf(value)); }
+float Fp16RoundTrip(float value) { return Fp16ToFloat(Fp16FromFloat(value)); }
 
 }  // namespace adafgl::comm

@@ -454,6 +454,12 @@ AdaFglResult RunAdaFgl(const FederatedDataset& data, const FedConfig& config,
     const double acc = client->EvalTest();
     result.client_test_acc.push_back(acc);
     result.client_heads.push_back(client->Diagnostics());
+    if (options.export_predictions) {
+      // Eval-mode forward is deterministic (no dropout, no rng draws), so
+      // this is exactly the prediction EvalTest scored above.
+      result.client_predictions.push_back(
+          client->Predict(/*training=*/false)->value());
+    }
     const auto n_test =
         static_cast<int64_t>(client->graph().test_nodes.size());
     weighted += acc * static_cast<double>(n_test);

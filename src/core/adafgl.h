@@ -42,6 +42,14 @@ struct AdaFglOptions {
   bool use_learnable_message = true;      ///< L.M. (Eq. 11-12).
   bool use_local_topology = true;         ///< L.T. (Eq. 5-6).
   bool use_hcs = true;                    ///< HCS (Eq. 16-17).
+
+  /// When true, AdaFglResult::client_predictions receives each client's
+  /// final combined probability matrix Ŷ (Eq. 17, eval mode) — the frozen
+  /// per-node predictions the serving path (serve/store.h) materializes
+  /// into an embedding store. Off by default: the matrices are
+  /// num_nodes x num_classes per client and training-only runs should not
+  /// pay for them.
+  bool export_predictions = false;
 };
 
 /// Per-client accuracy of each AdaFGL prediction head on the local test
@@ -71,6 +79,13 @@ struct AdaFglResult {
   std::vector<double> client_hcs;
   /// Per-client head accuracies (ablation instrumentation).
   std::vector<AdaFglHeadDiagnostics> client_heads;
+  /// Per-client final combined probability matrices Ŷ (Eq. 17), one
+  /// num_nodes x num_classes row-stochastic matrix per client — populated
+  /// only when AdaFglOptions::export_predictions is set. The freeze pass
+  /// (serve::FreezeAdaFgl) turns these into the online embedding store;
+  /// serving a node is then a row lookup, bitwise identical to direct
+  /// Step 2 inference.
+  std::vector<Matrix> client_predictions;
   /// Step-1 transport report (codec, thread count, measured wire bytes,
   /// simulated wall-clock). Step 2 is communication-free, so this is the
   /// whole paradigm's communication footprint.

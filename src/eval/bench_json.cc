@@ -87,12 +87,18 @@ void BenchReport::AddRun(const std::string& method,
   runs_.push_back(std::move(run));
 }
 
+void BenchReport::SetServe(const ServeSummary& serve) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(Mu());
+  serve_ = serve;
+}
+
 std::string BenchReport::ToJson() {
   std::lock_guard<std::mutex> lock(Mu());
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(3);
+  w.Int(4);
   w.Key("experiment");
   w.String(experiment_);
   w.Key("description");
@@ -239,6 +245,38 @@ std::string BenchReport::ToJson() {
     w.EndObject();
   }
   w.EndArray();
+  // Online-serving load-bench summary (schema v4). Always emitted —
+  // all-zero unless SetServe ran — so the key-set check in
+  // tools/bench_to_json.sh sees one schema for every bench.
+  w.Key("serve");
+  w.BeginObject();
+  w.Key("requests");
+  w.Int(serve_.requests);
+  w.Key("completed");
+  w.Int(serve_.completed);
+  w.Key("rejected");
+  w.Int(serve_.rejected);
+  w.Key("batches");
+  w.Int(serve_.batches);
+  w.Key("cache_hits");
+  w.Int(serve_.cache_hits);
+  w.Key("cache_misses");
+  w.Int(serve_.cache_misses);
+  w.Key("qps");
+  w.Double(serve_.qps);
+  w.Key("p50_latency_us");
+  w.Double(serve_.p50_latency_us);
+  w.Key("p99_latency_us");
+  w.Double(serve_.p99_latency_us);
+  w.Key("mean_latency_us");
+  w.Double(serve_.mean_latency_us);
+  w.Key("store_bytes");
+  w.Int(serve_.store_bytes);
+  w.Key("threads");
+  w.Int(serve_.threads);
+  w.Key("batch_size");
+  w.Int(serve_.batch_size);
+  w.EndObject();
   w.EndObject();
   return w.Take();
 }
@@ -269,6 +307,7 @@ void BenchReport::ResetForTest() {
   description_.clear();
   cells_.clear();
   runs_.clear();
+  serve_ = ServeSummary();
   ReadEnv();
 }
 

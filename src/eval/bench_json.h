@@ -9,6 +9,25 @@
 
 namespace adafgl {
 
+/// Serving-bench summary recorded into bench.json's `serve` block
+/// (schema v4). Latencies are microseconds; `qps` is completed requests
+/// over the measured load window.
+struct ServeSummary {
+  int64_t requests = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double qps = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double mean_latency_us = 0.0;
+  int64_t store_bytes = 0;
+  int threads = 0;
+  int batch_size = 0;
+};
+
 /// \brief Machine-readable run summary every bench binary emits.
 ///
 /// Activated by ADAFGL_BENCH_JSON=<path>, or by ADAFGL_METRICS=1 (which
@@ -21,7 +40,7 @@ namespace adafgl {
 ///
 /// ```json
 /// {
-///   "schema_version": 3,
+///   "schema_version": 4,
 ///   "experiment": "Table VIII",
 ///   "description": "...",
 ///   "knobs": {"seeds", "rounds", "epochs", "post_epochs",
@@ -38,7 +57,11 @@ namespace adafgl {
 ///                          "bytes_down", "sim_seconds"}]}],
 ///   "perf":  {"wall_seconds", "flops", "peak_tensor_bytes",
 ///             "peak_rss_bytes", "allocs"},
-///   "phases": [{"name", "count", "total_ms", "peak_bytes"}]
+///   "phases": [{"name", "count", "total_ms", "peak_bytes"}],
+///   "serve": {"requests", "completed", "rejected", "batches",
+///             "cache_hits", "cache_misses", "qps",
+///             "p50_latency_us", "p99_latency_us", "mean_latency_us",
+///             "store_bytes", "threads", "batch_size"}
 /// }
 /// ```
 ///
@@ -46,6 +69,11 @@ namespace adafgl {
 /// counters (corruptions/nacks/deadline_cuts/crashes from comm::CommStats),
 /// server-side recovery tallies (rejected/clipped updates, skipped rounds
 /// from ResilienceStats), and the per-round participation quorum.
+///
+/// Schema v4 adds the `serve` block — the online-serving load-bench
+/// summary (serve/server.h). The block is emitted in every document (all
+/// zeros unless SetServe was called) so the key-set schema check stays
+/// stable across benches.
 ///
 /// `cells` are the aggregated table entries (mean ± std over seeds);
 /// `runs` carry the full per-round trajectory of individual runs for the
@@ -77,6 +105,9 @@ class BenchReport {
   /// accounting.
   void AddRun(const std::string& method, const std::string& dataset,
               const std::string& split, const FedRunResult& result);
+
+  /// Records the serving load-bench summary (last call wins).
+  void SetServe(const ServeSummary& serve);
 
   /// Serializes the document and writes it to path(); no-op when disabled
   /// or when nothing was recorded. Idempotent (later calls rewrite).
@@ -115,6 +146,7 @@ class BenchReport {
   std::string description_;
   std::vector<Cell> cells_;
   std::vector<Run> runs_;
+  ServeSummary serve_;
   bool atexit_registered_ = false;
 };
 

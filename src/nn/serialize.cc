@@ -99,4 +99,71 @@ Result<std::vector<Matrix>> LoadWeightsFromFile(const std::string& path) {
   return DeserializeWeights(buffer.str());
 }
 
+// --------------------------------------------------------------------------
+// IEEE 754 binary16 conversion (round-to-nearest-even), no hardware
+// intrinsics so persisted/wire bytes are identical on every build.
+
+uint16_t Fp16FromFloat(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exponent =
+      static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mantissa = bits & 0x007fffffu;
+
+  if (exponent >= 0x1f) {
+    // Overflow -> inf; NaN keeps a payload bit.
+    const uint32_t nan_bit = (((bits >> 23) & 0xffu) == 0xffu && mantissa)
+                                 ? 0x0200u
+                                 : 0u;
+    return static_cast<uint16_t>(sign | 0x7c00u | nan_bit);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // Underflow.
+    // Subnormal half: shift in the implicit leading 1.
+    mantissa |= 0x00800000u;
+    const int shift = 14 - exponent;
+    uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mantissa & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
+                  (mantissa >> 13);
+  const uint32_t rem = mantissa & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // RNE.
+  return static_cast<uint16_t>(half);
+}
+
+float Fp16ToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exponent = (half >> 10) & 0x1fu;
+  uint32_t mantissa = half & 0x03ffu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // Signed zero.
+    } else {
+      // Subnormal half -> normalised float.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x0400u) == 0);
+      mantissa &= 0x03ffu;
+      bits = sign | static_cast<uint32_t>(127 - 15 - e) << 23 |
+             (mantissa << 13);
+    }
+  } else if (exponent == 0x1f) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // Inf/NaN.
+  } else {
+    bits = sign | (exponent - 15 + 127) << 23 | (mantissa << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
 }  // namespace adafgl

@@ -29,6 +29,14 @@ Status SaveWeightsToFile(const std::vector<Matrix>& weights,
 /// Reads a checkpoint file.
 Result<std::vector<Matrix>> LoadWeightsFromFile(const std::string& path);
 
+/// IEEE 754 binary16 conversion (round-to-nearest-even), software-only so
+/// persisted bytes are identical on every build. The half-precision
+/// storage primitive shared by the comm fp16 codec and the serve
+/// embedding store (serve/store.h). Fp16ToFloat(Fp16FromFloat(x)) is
+/// idempotent: every fp16 value round-trips through fp32 bit-exactly.
+uint16_t Fp16FromFloat(float value);
+float Fp16ToFloat(uint16_t half);
+
 }  // namespace adafgl
 
 #endif  // ADAFGL_NN_SERIALIZE_H_

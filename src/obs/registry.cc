@@ -17,6 +17,31 @@ std::vector<double> UnitIntervalBounds() {
   return bounds;
 }
 
+double Histogram::Quantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (bounds_.empty()) return Mean();  // Single unbounded bucket.
+  // Rank of the target observation, 1-based; q=0 maps to the first one.
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  double cum = 0.0;
+  const size_t n = bounds_.size();
+  for (size_t i = 0; i <= n; ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == n) break;  // Overflow bucket: no finite upper edge.
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    return lower + (upper - lower) * (target - cum) / in_bucket;
+  }
+  // Rank fell in (or races pushed it into) the unbounded overflow bucket.
+  return bounds_.back();
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked so cached instrument pointers outlive static destructors.
   static MetricsRegistry* registry = new MetricsRegistry;

@@ -79,6 +79,17 @@ class Histogram {
     const int64_t c = count();
     return c == 0 ? 0.0 : sum() / static_cast<double>(c);
   }
+
+  /// Estimates the q-quantile (q in [0, 1]; clamped) from the bucket
+  /// counts, linearly interpolating inside the bucket that crosses the
+  /// rank — the standard fixed-bucket estimator (Prometheus
+  /// histogram_quantile), so p50/p99 can be reported without raw samples.
+  /// Conventions: an empty histogram returns 0; the first bucket
+  /// interpolates from lower edge min(0, bounds[0]); any rank landing in
+  /// the unbounded overflow bucket returns bounds.back(). Reads are
+  /// relaxed-atomic snapshots — concurrent recording can skew the estimate
+  /// by the in-flight observations, never corrupt it.
+  double Quantile(double q) const;
   /// Upper bucket bounds (ascending); the implicit last bucket is +inf.
   const std::vector<double>& bounds() const { return bounds_; }
   size_t num_buckets() const { return bounds_.size() + 1; }

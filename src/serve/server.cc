@@ -1,0 +1,364 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace adafgl::serve {
+
+namespace {
+
+using obs::MetricsRegistry;
+
+int EnvIntOr(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(v);
+}
+
+uint64_t CacheKey(const Query& q) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(q.client)) << 33) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(q.node)) << 1) |
+         (q.smooth ? 1u : 0u);
+}
+
+int32_t Argmax(const std::vector<float>& probs) {
+  int32_t best = 0;
+  for (size_t j = 1; j < probs.size(); ++j) {
+    if (probs[j] > probs[static_cast<size_t>(best)]) {
+      best = static_cast<int32_t>(j);
+    }
+  }
+  return best;
+}
+
+// Cached instrument pointers: registration is mutex-guarded, steady-state
+// updates are relaxed atomics.
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* const h =
+      MetricsRegistry::Global().GetHistogram("serve.latency_ns");
+  return h;
+}
+obs::Counter* RequestCounter() {
+  static obs::Counter* const c =
+      MetricsRegistry::Global().GetCounter("serve.requests");
+  return c;
+}
+obs::Counter* RejectCounter() {
+  static obs::Counter* const c =
+      MetricsRegistry::Global().GetCounter("serve.rejected");
+  return c;
+}
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* const c =
+      MetricsRegistry::Global().GetCounter("serve.cache.hits");
+  return c;
+}
+obs::Counter* CacheMissCounter() {
+  static obs::Counter* const c =
+      MetricsRegistry::Global().GetCounter("serve.cache.misses");
+  return c;
+}
+obs::Counter* BatchCounter() {
+  static obs::Counter* const c =
+      MetricsRegistry::Global().GetCounter("serve.batches");
+  return c;
+}
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const g =
+      MetricsRegistry::Global().GetGauge("serve.queue.depth");
+  return g;
+}
+obs::Gauge* CacheBytesGauge() {
+  static obs::Gauge* const g =
+      MetricsRegistry::Global().GetGauge("serve.cache.bytes");
+  return g;
+}
+
+}  // namespace
+
+ServeOptions ServeOptionsFromEnv() {
+  ServeOptions opts;
+  opts.threads = std::max(1, EnvIntOr("ADAFGL_SERVE_THREADS", opts.threads));
+  opts.batch_size =
+      std::max(1, EnvIntOr("ADAFGL_SERVE_BATCH", opts.batch_size));
+  opts.cache_mb = std::max(0, EnvIntOr("ADAFGL_SERVE_CACHE_MB", opts.cache_mb));
+  return opts;
+}
+
+Result<std::unique_ptr<Server>> Server::Create(
+    FrozenStore store, std::vector<CsrMatrix> adjacency,
+    const ServeOptions& options) {
+  if (store.clients.empty()) {
+    return Status::InvalidArgument("serve: empty frozen store");
+  }
+  if (!adjacency.empty() && adjacency.size() != store.clients.size()) {
+    return Status::InvalidArgument(
+        "serve: adjacency count must match store client count");
+  }
+  for (size_t c = 0; c < adjacency.size(); ++c) {
+    if (adjacency[c].rows() != store.clients[c].num_nodes ||
+        adjacency[c].cols() != store.clients[c].num_nodes) {
+      return Status::InvalidArgument(
+          "serve: adjacency shape disagrees with client store");
+    }
+  }
+  if (options.batch_size < 1 || options.queue_capacity < 1 ||
+      options.threads < 1 || options.batch_deadline_us < 0 ||
+      options.smooth_gamma < 0.0 || options.smooth_gamma > 1.0) {
+    return Status::InvalidArgument("serve: invalid options");
+  }
+  return std::unique_ptr<Server>(
+      new Server(std::move(store), std::move(adjacency), options));
+}
+
+Server::Server(FrozenStore store, std::vector<CsrMatrix> adjacency,
+               const ServeOptions& options)
+    : store_(std::move(store)),
+      adjacency_(std::move(adjacency)),
+      options_(options),
+      pool_(std::make_unique<par::ThreadPool>(options.threads)),
+      paused_(options.start_paused),
+      cache_budget_bytes_(static_cast<int64_t>(options.cache_mb) * (1 << 20)) {
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::ValidateQuery(const Query& query) const {
+  if (query.client < 0 ||
+      query.client >= static_cast<int32_t>(store_.clients.size())) {
+    return Status::InvalidArgument("serve: client id out of range");
+  }
+  const FrozenClient& client = store_.clients[static_cast<size_t>(query.client)];
+  if (query.node < 0 || query.node >= client.num_nodes) {
+    return Status::InvalidArgument("serve: node id out of range");
+  }
+  if (query.smooth && adjacency_.empty()) {
+    return Status::InvalidArgument(
+        "serve: smooth query on a server built without adjacency");
+  }
+  return Status::Ok();
+}
+
+std::future<Result<Prediction>> Server::Submit(const Query& query) {
+  std::promise<Result<Prediction>> promise;
+  std::future<Result<Prediction>> future = promise.get_future();
+
+  const Status valid = ValidateQuery(query);
+  if (!valid.ok()) {
+    promise.set_value(valid);
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      promise.set_value(Status::Internal("serve: server is shut down"));
+      return future;
+    }
+    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      RejectCounter()->Inc();
+      promise.set_value(
+          Status::OutOfRange("serve: admission queue full (load shed)"));
+      return future;
+    }
+    Pending p;
+    p.query = query;
+    p.promise = std::move(promise);
+    p.enqueue_ns = obs::NowNs();
+    queue_.push_back(std::move(p));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  RequestCounter()->Inc();
+  queue_cv_.notify_all();
+  return future;
+}
+
+Result<Prediction> Server::Predict(const Query& query) {
+  return Submit(query).get();
+}
+
+void Server::BatcherLoop() {
+  const auto deadline =
+      std::chrono::microseconds(options_.batch_deadline_us);
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty() && shutdown_) return;
+      if (!shutdown_) {
+        // Wait for a full batch until `deadline` after the oldest pending
+        // query arrived; flush whatever is there when the clock runs out.
+        const auto flush_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::nanoseconds(std::max<int64_t>(
+                0, queue_.front().enqueue_ns +
+                       std::chrono::nanoseconds(deadline).count() -
+                       obs::NowNs()));
+        queue_cv_.wait_until(lock, flush_at, [this] {
+          return shutdown_ ||
+                 static_cast<int>(queue_.size()) >= options_.batch_size;
+        });
+      }
+      const size_t take = std::min<size_t>(
+          queue_.size(), static_cast<size_t>(options_.batch_size));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    if (!batch.empty()) RunBatch(batch);
+  }
+}
+
+void Server::RunBatch(std::vector<Pending>& batch) {
+  obs::Span span("serve.batch");
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  BatchCounter()->Inc();
+  // Queries are independent; partitioning them over workers cannot change
+  // any individual result, so any thread count is bitwise equivalent.
+  pool_->ParallelFor(batch.size(), [&](size_t i) {
+    Pending& p = batch[i];
+    Result<Prediction> result = Execute(p.query);
+    if (result.ok()) {
+      result->latency_ns = obs::NowNs() - p.enqueue_ns;
+      LatencyHistogram()->Record(static_cast<double>(result->latency_ns));
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(std::move(result));
+  });
+}
+
+Result<Prediction> Server::Execute(const Query& query) {
+  const FrozenClient& client = store_.clients[static_cast<size_t>(query.client)];
+  const auto k = static_cast<size_t>(client.num_classes);
+  Prediction out;
+
+  const uint64_t key = CacheKey(query);
+  if (CacheLookup(key, &out.probs)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheHitCounter()->Inc();
+    out.cache_hit = true;
+    out.label = Argmax(out.probs);
+    return out;
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMissCounter()->Inc();
+
+  out.probs.resize(k);
+  client.ReadRow(query.node, out.probs.data());
+
+  if (query.smooth) {
+    const CsrMatrix& adj = adjacency_[static_cast<size_t>(query.client)];
+    std::vector<float> neighbor_sum(k, 0.0f);
+    std::vector<float> row(k);
+    int64_t degree = 0;
+    adj.ForEachInRow(query.node, [&](int32_t u, float /*w*/) {
+      client.ReadRow(u, row.data());
+      for (size_t j = 0; j < k; ++j) neighbor_sum[j] += row[j];
+      ++degree;
+    });
+    if (degree > 0) {
+      const float gamma = static_cast<float>(options_.smooth_gamma);
+      const float inv_deg = 1.0f / static_cast<float>(degree);
+      for (size_t j = 0; j < k; ++j) {
+        out.probs[j] =
+            (1.0f - gamma) * out.probs[j] + gamma * neighbor_sum[j] * inv_deg;
+      }
+    }
+  }
+
+  CacheInsert(key, out.probs);
+  out.label = Argmax(out.probs);
+  return out;
+}
+
+bool Server::CacheLookup(uint64_t key, std::vector<float>* probs) {
+  if (cache_budget_bytes_ <= 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return false;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  *probs = it->second->probs;
+  return true;
+}
+
+void Server::CacheInsert(uint64_t key, const std::vector<float>& probs) {
+  if (cache_budget_bytes_ <= 0) return;
+  const auto entry_bytes = static_cast<int64_t>(
+      sizeof(CacheEntry) + probs.size() * sizeof(float) +
+      sizeof(uint64_t) + sizeof(void*) * 4);  // Entry + index overhead.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_index_.count(key) != 0) return;  // Raced with another worker.
+  while (cache_bytes_ + entry_bytes > cache_budget_bytes_ &&
+         !cache_lru_.empty()) {
+    const CacheEntry& victim = cache_lru_.back();
+    cache_bytes_ -= static_cast<int64_t>(
+        sizeof(CacheEntry) + victim.probs.size() * sizeof(float) +
+        sizeof(uint64_t) + sizeof(void*) * 4);
+    cache_index_.erase(victim.key);
+    cache_lru_.pop_back();
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (entry_bytes > cache_budget_bytes_) return;  // Oversized value.
+  cache_lru_.push_front(CacheEntry{key, probs});
+  cache_index_[key] = cache_lru_.begin();
+  cache_bytes_ += entry_bytes;
+  CacheBytesGauge()->Set(static_cast<double>(cache_bytes_));
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    paused_ = false;  // Drain even a paused server.
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void Server::ResumeForTest() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+ServeStats Server::Stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    s.cache_bytes = cache_bytes_;
+  }
+  const obs::Histogram* h = LatencyHistogram();
+  s.p50_latency_ns = h->Quantile(0.50);
+  s.p99_latency_ns = h->Quantile(0.99);
+  s.mean_latency_ns = h->Mean();
+  return s;
+}
+
+}  // namespace adafgl::serve

@@ -1,0 +1,205 @@
+#ifndef ADAFGL_SERVE_SERVER_H_
+#define ADAFGL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "serve/store.h"
+#include "tensor/csr.h"
+#include "tensor/status.h"
+
+namespace adafgl::serve {
+
+/// \brief Server tuning knobs. ServeOptionsFromEnv() overlays the
+/// environment (ADAFGL_SERVE_THREADS / ADAFGL_SERVE_BATCH /
+/// ADAFGL_SERVE_CACHE_MB) on these defaults.
+struct ServeOptions {
+  /// Worker threads executing micro-batches (par::ThreadPool). <= 1 runs
+  /// every batch inline on the batcher thread. Predictions are bitwise
+  /// identical for any value — parallelism only partitions independent
+  /// per-query work.
+  int threads = 1;
+  /// Micro-batcher flush threshold: a batch is dispatched as soon as this
+  /// many queries are pending...
+  int batch_size = 16;
+  /// ...or this many microseconds after the oldest pending query arrived,
+  /// whichever comes first.
+  int64_t batch_deadline_us = 200;
+  /// Bounded admission queue. Submit() on a full queue fails fast with
+  /// OutOfRange instead of buffering unboundedly (load shedding).
+  int queue_capacity = 1024;
+  /// LRU result-cache budget in MiB. 0 disables caching.
+  int cache_mb = 8;
+  /// Ego-graph smoothing weight for Query::smooth requests:
+  ///   y = (1 - gamma) * E[v] + gamma * mean_{u in N(v)} E[u].
+  double smooth_gamma = 0.5;
+  /// Tests only: start with the batcher parked so Submit() can fill the
+  /// admission queue deterministically; ResumeForTest() unparks it.
+  bool start_paused = false;
+};
+
+/// Defaults overlaid with ADAFGL_SERVE_THREADS, ADAFGL_SERVE_BATCH and
+/// ADAFGL_SERVE_CACHE_MB (invalid / unset values keep the default).
+ServeOptions ServeOptionsFromEnv();
+
+/// One classification request: a node of one federation client. `smooth`
+/// asks for ego-graph smoothing over the client's adjacency (requires the
+/// server to have been built with adjacency; see Server::Create).
+struct Query {
+  int32_t client = 0;
+  int32_t node = 0;
+  bool smooth = false;
+};
+
+/// One classification response.
+struct Prediction {
+  /// argmax of `probs` (lowest index wins ties — deterministic).
+  int32_t label = 0;
+  std::vector<float> probs;
+  /// True when `probs` was served from the LRU result cache.
+  bool cache_hit = false;
+  /// Submit-to-completion latency (admission queue + batch + execute).
+  int64_t latency_ns = 0;
+};
+
+/// Counter snapshot for one server instance (see Server::Stats). Latency
+/// quantiles come from the process-global "serve.latency_ns" histogram via
+/// obs::Histogram::Quantile.
+struct ServeStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;   ///< Failed fast on a full admission queue.
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes = 0;
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double mean_latency_ns = 0.0;
+};
+
+/// \brief Online node-classification server over a frozen embedding store.
+///
+/// Request path: Submit() admits a query into a bounded queue (fail-fast
+/// when full); a dedicated batcher thread flushes micro-batches — on
+/// batch_size or on the deadline measured from the oldest pending query —
+/// onto a par::ThreadPool; each query resolves to a row lookup in the
+/// FrozenStore (plus optional ego-graph smoothing), consults a byte-bounded
+/// LRU result cache, and fulfils its future.
+///
+/// Determinism: a query's prediction depends only on the store (and
+/// adjacency, for smooth queries) — never on batching boundaries, thread
+/// count, or cache state — so results are bitwise reproducible under any
+/// ServeOptions::threads.
+///
+/// Observability: the server publishes product telemetry to the global
+/// obs::MetricsRegistry unconditionally (serve.* counters/gauges and the
+/// serve.latency_ns histogram) — an intentional exception to the
+/// ADAFGL_METRICS gating used by the training path, because Stats() and
+/// the load bench need quantiles without env configuration. Spans
+/// ("serve.batch") still respect the usual tracing gate.
+class Server {
+ public:
+  /// Validates options and takes ownership of the store. `adjacency`, when
+  /// non-empty, must hold one CSR (num_nodes x num_nodes of that client's
+  /// subgraph) per store client and enables Query::smooth.
+  static Result<std::unique_ptr<Server>> Create(
+      FrozenStore store, std::vector<CsrMatrix> adjacency,
+      const ServeOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits a query. The returned future resolves when the micro-batch
+  /// containing it executes — immediately with OutOfRange when the
+  /// admission queue is full, or InvalidArgument for an out-of-range
+  /// client/node or a smooth query without adjacency.
+  std::future<Result<Prediction>> Submit(const Query& query);
+
+  /// Blocking convenience wrapper: Submit + wait.
+  Result<Prediction> Predict(const Query& query);
+
+  /// Rejects further Submits, drains every admitted query, stops the
+  /// batcher and workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Snapshot of this server's counters plus global latency quantiles.
+  ServeStats Stats() const;
+
+  /// Unparks a server created with ServeOptions::start_paused.
+  void ResumeForTest();
+
+  int32_t num_clients() const {
+    return static_cast<int32_t>(store_.clients.size());
+  }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Query query;
+    std::promise<Result<Prediction>> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  /// LRU result cache: key packs (client, node, smooth); values are the
+  /// final probability vectors. Guarded by cache_mu_.
+  struct CacheEntry {
+    uint64_t key = 0;
+    std::vector<float> probs;
+  };
+
+  Server(FrozenStore store, std::vector<CsrMatrix> adjacency,
+         const ServeOptions& options);
+
+  void BatcherLoop();
+  /// Executes one micro-batch on the pool and fulfils its promises.
+  void RunBatch(std::vector<Pending>& batch);
+  /// Computes one query (cache -> store row -> optional smoothing).
+  Result<Prediction> Execute(const Query& query);
+  Status ValidateQuery(const Query& query) const;
+
+  bool CacheLookup(uint64_t key, std::vector<float>* probs);
+  void CacheInsert(uint64_t key, const std::vector<float>& probs);
+
+  FrozenStore store_;
+  std::vector<CsrMatrix> adjacency_;
+  ServeOptions options_;
+  std::unique_ptr<par::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  std::thread batcher_;
+
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_lru_;  // Front = most recent.
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+  int64_t cache_bytes_ = 0;
+  int64_t cache_budget_bytes_ = 0;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_evictions_{0};
+};
+
+}  // namespace adafgl::serve
+
+#endif  // ADAFGL_SERVE_SERVER_H_

@@ -1,0 +1,175 @@
+#include "serve/store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "nn/serialize.h"
+
+namespace adafgl::serve {
+
+namespace {
+
+constexpr float kStoreFormatVersion = 1.0f;
+
+Matrix MetaMatrix(float a, float b, float c, float d) {
+  Matrix m(1, 4);
+  m(0, 0) = a;
+  m(0, 1) = b;
+  m(0, 2) = c;
+  m(0, 3) = d;
+  return m;
+}
+
+std::vector<Matrix> StoreToWeights(const FrozenStore& store) {
+  std::vector<Matrix> weights;
+  weights.reserve(1 + 2 * store.clients.size());
+  weights.push_back(MetaMatrix(kStoreFormatVersion,
+                               static_cast<float>(store.clients.size()),
+                               0.0f, 0.0f));
+  for (const FrozenClient& c : store.clients) {
+    weights.push_back(MetaMatrix(static_cast<float>(c.num_nodes),
+                                 static_cast<float>(c.num_classes),
+                                 static_cast<float>(c.precision), c.hcs));
+    if (c.precision == Precision::kF32) {
+      weights.push_back(c.probs);
+    } else {
+      // fp16 payload persisted as its exactly-representable fp32 values;
+      // load re-encodes bit-exactly.
+      Matrix m(c.num_nodes, c.num_classes);
+      float* dst = m.data();
+      for (size_t i = 0; i < c.probs_f16.size(); ++i) {
+        dst[i] = Fp16ToFloat(c.probs_f16[i]);
+      }
+      weights.push_back(std::move(m));
+    }
+  }
+  return weights;
+}
+
+Result<FrozenStore> WeightsToStore(const std::vector<Matrix>& weights) {
+  if (weights.empty() || weights[0].rows() != 1 || weights[0].cols() != 4) {
+    return Status::InvalidArgument("frozen store: missing header matrix");
+  }
+  if (weights[0](0, 0) != kStoreFormatVersion) {
+    return Status::InvalidArgument("frozen store: unsupported version");
+  }
+  const auto num_clients = static_cast<size_t>(weights[0](0, 1));
+  if (weights.size() != 1 + 2 * num_clients) {
+    return Status::InvalidArgument("frozen store: client count mismatch");
+  }
+  FrozenStore store;
+  store.clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    const Matrix& meta = weights[1 + 2 * c];
+    const Matrix& payload = weights[2 + 2 * c];
+    if (meta.rows() != 1 || meta.cols() != 4) {
+      return Status::InvalidArgument("frozen store: malformed client meta");
+    }
+    const auto precision_raw = static_cast<int32_t>(meta(0, 2));
+    if (precision_raw != static_cast<int32_t>(Precision::kF32) &&
+        precision_raw != static_cast<int32_t>(Precision::kF16)) {
+      return Status::InvalidArgument("frozen store: unknown precision");
+    }
+    const auto precision = static_cast<Precision>(precision_raw);
+    if (payload.rows() != static_cast<int64_t>(meta(0, 0)) ||
+        payload.cols() != static_cast<int64_t>(meta(0, 1))) {
+      return Status::InvalidArgument(
+          "frozen store: payload shape disagrees with client meta");
+    }
+    FrozenClient client = FreezeClient(payload, meta(0, 3), precision);
+    store.clients.push_back(std::move(client));
+  }
+  return store;
+}
+
+}  // namespace
+
+void FrozenClient::ReadRow(int32_t node, float* out) const {
+  const auto k = static_cast<size_t>(num_classes);
+  const size_t base = static_cast<size_t>(node) * k;
+  if (precision == Precision::kF32) {
+    std::memcpy(out, probs.row(node), k * sizeof(float));
+    return;
+  }
+  for (size_t j = 0; j < k; ++j) {
+    out[j] = Fp16ToFloat(probs_f16[base + j]);
+  }
+}
+
+int64_t FrozenClient::payload_bytes() const {
+  if (precision == Precision::kF32) {
+    return probs.size() * static_cast<int64_t>(sizeof(float));
+  }
+  return static_cast<int64_t>(probs_f16.size() * sizeof(uint16_t));
+}
+
+int64_t FrozenStore::total_nodes() const {
+  int64_t n = 0;
+  for (const FrozenClient& c : clients) n += c.num_nodes;
+  return n;
+}
+
+int64_t FrozenStore::payload_bytes() const {
+  int64_t n = 0;
+  for (const FrozenClient& c : clients) n += c.payload_bytes();
+  return n;
+}
+
+FrozenClient FreezeClient(const Matrix& combined_probs, double hcs,
+                          Precision precision) {
+  FrozenClient out;
+  out.num_nodes = static_cast<int32_t>(combined_probs.rows());
+  out.num_classes = static_cast<int32_t>(combined_probs.cols());
+  out.precision = precision;
+  out.hcs = static_cast<float>(hcs);
+  if (precision == Precision::kF32) {
+    out.probs = combined_probs;
+    return out;
+  }
+  out.probs_f16.resize(static_cast<size_t>(combined_probs.size()));
+  const float* src = combined_probs.data();
+  for (int64_t i = 0; i < combined_probs.size(); ++i) {
+    out.probs_f16[static_cast<size_t>(i)] = Fp16FromFloat(src[i]);
+  }
+  return out;
+}
+
+Result<FrozenStore> FreezeAdaFgl(const AdaFglResult& result,
+                                 Precision precision) {
+  if (result.client_predictions.empty()) {
+    return Status::InvalidArgument(
+        "AdaFglResult carries no client_predictions; run with "
+        "AdaFglOptions::export_predictions = true to freeze");
+  }
+  FrozenStore store;
+  store.clients.reserve(result.client_predictions.size());
+  for (size_t c = 0; c < result.client_predictions.size(); ++c) {
+    const double hcs =
+        c < result.client_hcs.size() ? result.client_hcs[c] : 0.5;
+    store.clients.push_back(
+        FreezeClient(result.client_predictions[c], hcs, precision));
+  }
+  return store;
+}
+
+std::string SerializeStore(const FrozenStore& store) {
+  return SerializeWeights(StoreToWeights(store));
+}
+
+Result<FrozenStore> DeserializeStore(const std::string& bytes) {
+  Result<std::vector<Matrix>> parsed = DeserializeWeights(bytes);
+  if (!parsed.ok()) return parsed.status();
+  return WeightsToStore(*parsed);
+}
+
+Status SaveStoreToFile(const FrozenStore& store, const std::string& path) {
+  return SaveWeightsToFile(StoreToWeights(store), path);
+}
+
+Result<FrozenStore> LoadStoreFromFile(const std::string& path) {
+  Result<std::vector<Matrix>> parsed = LoadWeightsFromFile(path);
+  if (!parsed.ok()) return parsed.status();
+  return WeightsToStore(*parsed);
+}
+
+}  // namespace adafgl::serve

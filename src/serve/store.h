@@ -1,0 +1,96 @@
+#ifndef ADAFGL_SERVE_STORE_H_
+#define ADAFGL_SERVE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adafgl.h"
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace adafgl::serve {
+
+/// Storage precision of a frozen embedding store.
+///
+/// kF32 keeps the Step-2 probabilities bit-for-bit — serving a node is
+/// then bitwise identical to direct Step 2 inference. kF16 halves the
+/// resident bytes (~1e-3 relative error) for deployments where the store
+/// dominates memory; rows are decoded to fp32 on access. fp16 stores
+/// round-trip bit-exactly through the checkpoint format because every
+/// fp16 value is exactly representable in fp32.
+enum class Precision : int32_t {
+  kF32 = 0,
+  kF16 = 1,
+};
+
+/// \brief One client's frozen personalized predictions.
+///
+/// The freeze pass materializes AdaFGL Step 2's adaptive personalized
+/// propagation: the final combined probability matrix Ŷ (Eq. 17) becomes
+/// a per-node embedding table, so online classification of node v is a
+/// row lookup instead of a propagation forward pass. The HCS rides along
+/// for introspection (it is the adaptive weight Ŷ was combined with).
+struct FrozenClient {
+  int32_t num_nodes = 0;
+  int32_t num_classes = 0;
+  Precision precision = Precision::kF32;
+  float hcs = 0.5f;
+
+  /// kF32 payload: the probability matrix, bit-identical to Step 2.
+  Matrix probs;
+  /// kF16 payload: row-major fp16 bits (num_nodes * num_classes entries).
+  std::vector<uint16_t> probs_f16;
+
+  /// Decodes row `node` into `out` (`num_classes` floats). For kF32 this
+  /// is a memcpy of the frozen fp32 row; for kF16 a per-entry fp16->fp32
+  /// decode. Deterministic, thread-safe (read-only).
+  void ReadRow(int32_t node, float* out) const;
+
+  /// Resident bytes of the embedding payload.
+  int64_t payload_bytes() const;
+};
+
+/// \brief A per-client node-embedding store: every client of a federation,
+/// frozen. The unit the server (serve/server.h) loads and queries.
+struct FrozenStore {
+  std::vector<FrozenClient> clients;
+
+  int32_t num_clients() const {
+    return static_cast<int32_t>(clients.size());
+  }
+  int64_t total_nodes() const;
+  int64_t payload_bytes() const;
+};
+
+/// Freezes one client's combined probability matrix (rows are per-node
+/// class distributions). kF32 preserves `combined_probs` bit-for-bit.
+FrozenClient FreezeClient(const Matrix& combined_probs, double hcs,
+                          Precision precision);
+
+/// \brief Freeze pass over a finished AdaFGL run: one FrozenClient per
+/// federation client, from AdaFglResult::client_predictions (requires the
+/// run to have set AdaFglOptions::export_predictions; InvalidArgument
+/// otherwise).
+Result<FrozenStore> FreezeAdaFgl(const AdaFglResult& result,
+                                 Precision precision = Precision::kF32);
+
+/// \brief Persistence through the existing checkpoint wire format
+/// (nn/serialize.h).
+///
+/// The store serializes as one weight list:
+///   [0]            1x4 header   (format version, num_clients, precision, 0)
+///   [1 + 2c]       1x4 meta     (num_nodes, num_classes, precision, hcs)
+///   [2 + 2c]       probs        (num_nodes x num_classes fp32; for kF16
+///                                the fp16-rounded values, which re-encode
+///                                bit-exactly on load)
+/// so SaveStoreToFile/LoadStoreFromFile reuse SerializeWeights and its
+/// validation. Round trips are bit-exact for both precisions.
+std::string SerializeStore(const FrozenStore& store);
+Result<FrozenStore> DeserializeStore(const std::string& bytes);
+Status SaveStoreToFile(const FrozenStore& store, const std::string& path);
+Result<FrozenStore> LoadStoreFromFile(const std::string& path);
+
+}  // namespace adafgl::serve
+
+#endif  // ADAFGL_SERVE_STORE_H_

@@ -101,6 +101,67 @@ TEST_F(ObsTest, HistogramBucketsObservations) {
   EXPECT_DOUBLE_EQ(h->Mean(), (0.5 + 5.0 + 5.0 + 1e6) / 4.0);
 }
 
+TEST_F(ObsTest, QuantileEmptyHistogramReturnsZero) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.q_empty", std::vector<double>{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.0);
+}
+
+TEST_F(ObsTest, QuantileInterpolatesInsideBucket) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.q_interp", std::vector<double>{10.0, 20.0, 30.0});
+  // 10 observations in (10, 20]: ranks spread linearly across the bucket.
+  for (int i = 0; i < 10; ++i) h->Record(15.0);
+  // Median rank = 5 of 10 -> halfway through [10, 20].
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 20.0);
+  // Rank 1 of 10 -> one tenth into the bucket.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.1), 11.0);
+}
+
+TEST_F(ObsTest, QuantileSpansMultipleBuckets) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.q_multi", std::vector<double>{10.0, 20.0, 30.0});
+  for (int i = 0; i < 8; ++i) h->Record(5.0);    // bucket [*, 10]
+  for (int i = 0; i < 1; ++i) h->Record(15.0);   // bucket (10, 20]
+  for (int i = 0; i < 1; ++i) h->Record(25.0);   // bucket (20, 30]
+  // p50 rank = 5 of 10 lands in the first bucket (8 observations):
+  // 5/8 through [0, 10].
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 6.25);
+  // p90 rank = 9 lands in the second bucket (cum 8, 1 in bucket).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.9), 20.0);
+  // p100 lands in the third.
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 30.0);
+}
+
+TEST_F(ObsTest, QuantileEdgeConventions) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.q_edges", std::vector<double>{10.0, 20.0});
+  h->Record(1e9);  // Overflow bucket only.
+  // Ranks in the unbounded bucket clamp to the last finite bound.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 20.0);
+  // q outside [0, 1] clamps instead of misbehaving.
+  h->Record(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(-1.0), h->Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h->Quantile(2.0), h->Quantile(1.0));
+  // q = 0 maps to the first observation's bucket, not below it.
+  EXPECT_LE(h->Quantile(0.0), 10.0);
+  EXPECT_GT(h->Quantile(0.0), 0.0);
+}
+
+TEST_F(ObsTest, QuantileDefaultBoundsOverflowClamps) {
+  // Registering with empty bounds applies the default decades; an
+  // observation beyond the last decade lands in the unbounded overflow
+  // bucket and every quantile clamps to the last finite bound.
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.q_unbounded", std::vector<double>{});
+  ASSERT_FALSE(h->bounds().empty());
+  h->Record(1e11);  // Beyond 10 s.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), h->bounds().back());
+}
+
 TEST_F(ObsTest, SummaryTextListsNonZeroInstruments) {
   MetricsRegistry::Global().GetCounter("test.zero");  // Stays silent.
   MetricsRegistry::Global().GetCounter("test.hot")->Inc(42);

@@ -1,0 +1,385 @@
+// Tests of the online serving subsystem (serve/store.h, serve/server.h):
+// freeze -> serialize -> restore -> serve must be bitwise identical to
+// direct Step 2 inference, under any worker-thread count; plus the
+// micro-batcher/queue/cache mechanics and the store wire format's error
+// paths. Runs in the tsan CI lane (ctest -L serve) because the request
+// path is the most concurrent code in the repo.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/adafgl.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "serve/server.h"
+#include "serve/store.h"
+#include "test_util.h"
+
+namespace adafgl::serve {
+namespace {
+
+using ::adafgl::testing::MakeSmallSbm;
+
+FedConfig TinyConfig() {
+  FedConfig cfg;
+  cfg.rounds = 3;
+  cfg.local_epochs = 1;
+  cfg.post_local_epochs = 2;
+  cfg.hidden = 16;
+  cfg.seed = 23;
+  return cfg;
+}
+
+AdaFglOptions ExportOptions() {
+  AdaFglOptions opt;
+  opt.personalized_epochs = 10;
+  opt.hcs_repeats = 2;
+  opt.export_predictions = true;
+  return opt;
+}
+
+FederatedDataset TinyFederation(uint64_t seed = 201) {
+  Graph g = MakeSmallSbm(240, 3, 0.85, seed);
+  Rng rng(seed + 1);
+  return StructureNonIidSplit(g, 3, InjectionMode::kRandom, 0.4, rng);
+}
+
+/// One trained-and-frozen fixture shared by the suite (training is the
+/// expensive part; every test reads it immutably).
+struct Frozen {
+  FederatedDataset data;
+  AdaFglResult trained;
+  FrozenStore store;
+};
+
+const Frozen& SharedFrozen() {
+  static const Frozen* fixture = [] {
+    auto* f = new Frozen;
+    f->data = TinyFederation();
+    f->trained = RunAdaFgl(f->data, TinyConfig(), ExportOptions());
+    f->store = *FreezeAdaFgl(f->trained);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::vector<CsrMatrix> Adjacency(const FederatedDataset& data) {
+  std::vector<CsrMatrix> adj;
+  for (const Graph& g : data.clients) adj.push_back(g.adj);
+  return adj;
+}
+
+ServeOptions QuietOptions() {
+  ServeOptions o;
+  o.threads = 1;
+  o.batch_size = 4;
+  o.batch_deadline_us = 50;
+  o.cache_mb = 1;
+  return o;
+}
+
+TEST(ServeStoreTest, FreezeRequiresExportedPredictions) {
+  AdaFglResult without;  // export_predictions defaulted off.
+  Result<FrozenStore> r = FreezeAdaFgl(without);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ServeStoreTest, FreezeMatchesPredictionsBitwise) {
+  const Frozen& f = SharedFrozen();
+  ASSERT_EQ(f.store.clients.size(), f.trained.client_predictions.size());
+  std::vector<float> row;
+  for (size_t c = 0; c < f.store.clients.size(); ++c) {
+    const Matrix& direct = f.trained.client_predictions[c];
+    const FrozenClient& frozen = f.store.clients[c];
+    ASSERT_EQ(frozen.num_nodes, direct.rows());
+    ASSERT_EQ(frozen.num_classes, direct.cols());
+    row.resize(static_cast<size_t>(direct.cols()));
+    for (int32_t v = 0; v < frozen.num_nodes; ++v) {
+      frozen.ReadRow(v, row.data());
+      EXPECT_EQ(std::memcmp(row.data(), direct.row(v),
+                            row.size() * sizeof(float)),
+                0)
+          << "client " << c << " node " << v;
+    }
+  }
+}
+
+TEST(ServeStoreTest, SerializeRoundTripsBitExactly) {
+  const Frozen& f = SharedFrozen();
+  Result<FrozenStore> restored = DeserializeStore(SerializeStore(f.store));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->clients.size(), f.store.clients.size());
+  for (size_t c = 0; c < f.store.clients.size(); ++c) {
+    const FrozenClient& a = f.store.clients[c];
+    const FrozenClient& b = restored->clients[c];
+    EXPECT_EQ(a.num_nodes, b.num_nodes);
+    EXPECT_EQ(a.num_classes, b.num_classes);
+    EXPECT_EQ(a.hcs, b.hcs);
+    ASSERT_EQ(a.probs.size(), b.probs.size());
+    EXPECT_EQ(std::memcmp(a.probs.data(), b.probs.data(),
+                          static_cast<size_t>(a.probs.size()) *
+                              sizeof(float)),
+              0);
+  }
+}
+
+TEST(ServeStoreTest, Fp16StoreRoundTripsBitExactly) {
+  const Frozen& f = SharedFrozen();
+  Result<FrozenStore> half = FreezeAdaFgl(f.trained, Precision::kF16);
+  ASSERT_TRUE(half.ok());
+  // fp16 halves the payload.
+  EXPECT_EQ(half->payload_bytes() * 2, f.store.payload_bytes());
+  Result<FrozenStore> restored = DeserializeStore(SerializeStore(*half));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (size_t c = 0; c < half->clients.size(); ++c) {
+    ASSERT_EQ(restored->clients[c].precision, Precision::kF16);
+    EXPECT_EQ(restored->clients[c].probs_f16, half->clients[c].probs_f16);
+  }
+  // And the decoded rows are the fp16 rounding of the fp32 predictions.
+  std::vector<float> row(
+      static_cast<size_t>(half->clients[0].num_classes));
+  const Matrix& direct = f.trained.client_predictions[0];
+  half->clients[0].ReadRow(0, row.data());
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_EQ(row[j], Fp16ToFloat(Fp16FromFloat(direct(0, j))));
+  }
+}
+
+TEST(ServeStoreTest, DeserializeRejectsMalformedStores) {
+  EXPECT_FALSE(DeserializeStore("not a checkpoint").ok());
+  // A valid weight checkpoint that is not a frozen store (no header).
+  Matrix w(2, 2);
+  EXPECT_FALSE(DeserializeStore(SerializeWeights({w})).ok());
+  // Header promising more clients than the payload carries.
+  Matrix header(1, 4);
+  header(0, 0) = 1.0f;  // version
+  header(0, 1) = 3.0f;  // claims 3 clients, provides none
+  EXPECT_FALSE(DeserializeStore(SerializeWeights({header})).ok());
+}
+
+TEST(ServeStoreTest, FileRoundTrip) {
+  const Frozen& f = SharedFrozen();
+  const std::string path =
+      ::testing::TempDir() + "/adafgl_serve_store.bin";
+  ASSERT_TRUE(SaveStoreToFile(f.store, path).ok());
+  Result<FrozenStore> loaded = LoadStoreFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_clients(), f.store.num_clients());
+  EXPECT_EQ(loaded->payload_bytes(), f.store.payload_bytes());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadStoreFromFile(path).ok());
+}
+
+TEST(ServeServerTest, ServedRowsMatchStepTwoBitwise) {
+  const Frozen& f = SharedFrozen();
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, Adjacency(f.data), QuietOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int32_t c = 0; c < (*server)->num_clients(); ++c) {
+    const Matrix& direct = f.trained.client_predictions[static_cast<size_t>(c)];
+    for (int32_t v = 0; v < direct.rows(); v += 5) {
+      Result<Prediction> p = (*server)->Predict({c, v, /*smooth=*/false});
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      ASSERT_EQ(p->probs.size(), static_cast<size_t>(direct.cols()));
+      EXPECT_EQ(std::memcmp(p->probs.data(), direct.row(v),
+                            p->probs.size() * sizeof(float)),
+                0)
+          << "client " << c << " node " << v;
+      EXPECT_GE(p->latency_ns, 0);
+    }
+  }
+}
+
+TEST(ServeServerTest, ConcurrentQueriesDeterministicAcrossThreadCounts) {
+  const Frozen& f = SharedFrozen();
+  // The same query set must produce bitwise-identical predictions with 1,
+  // 2 and 8 worker threads — batching and scheduling may differ, results
+  // may not.
+  std::vector<Query> queries;
+  for (int32_t c = 0; c < f.store.num_clients(); ++c) {
+    const int32_t n = f.store.clients[static_cast<size_t>(c)].num_nodes;
+    for (int32_t v = 0; v < n; v += 3) {
+      queries.push_back({c, v, /*smooth=*/(v % 2) == 0});
+    }
+  }
+  std::vector<std::vector<float>> reference;
+  for (int threads : {1, 2, 8}) {
+    ServeOptions opts = QuietOptions();
+    opts.threads = threads;
+    opts.batch_size = 8;
+    Result<std::unique_ptr<Server>> server =
+        Server::Create(f.store, Adjacency(f.data), opts);
+    ASSERT_TRUE(server.ok());
+    // Submit everything asynchronously so micro-batches actually form.
+    std::vector<std::future<Result<Prediction>>> futures;
+    futures.reserve(queries.size());
+    for (const Query& q : queries) futures.push_back((*server)->Submit(q));
+    std::vector<std::vector<float>> got;
+    got.reserve(queries.size());
+    for (auto& fut : futures) {
+      Result<Prediction> p = fut.get();
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      got.push_back(p->probs);
+    }
+    if (reference.empty()) {
+      reference = std::move(got);
+      continue;
+    }
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), reference[i].size());
+      EXPECT_EQ(std::memcmp(got[i].data(), reference[i].data(),
+                            got[i].size() * sizeof(float)),
+                0)
+          << "query " << i << " diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST(ServeServerTest, QueueOverflowShedsLoadDeterministically) {
+  const Frozen& f = SharedFrozen();
+  ServeOptions opts = QuietOptions();
+  opts.queue_capacity = 8;
+  opts.start_paused = true;  // The batcher consumes nothing yet.
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, {}, opts);
+  ASSERT_TRUE(server.ok());
+  std::vector<std::future<Result<Prediction>>> admitted;
+  for (int i = 0; i < 8; ++i) {
+    admitted.push_back((*server)->Submit({0, i, false}));
+  }
+  // Queue is exactly full: the next submits fail fast.
+  for (int i = 0; i < 3; ++i) {
+    Result<Prediction> shed = (*server)->Submit({0, 0, false}).get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), Status::Code::kOutOfRange);
+  }
+  EXPECT_EQ((*server)->Stats().rejected, 3);
+  // Resume: every admitted query still completes.
+  (*server)->ResumeForTest();
+  for (auto& fut : admitted) {
+    EXPECT_TRUE(fut.get().ok());
+  }
+  EXPECT_EQ((*server)->Stats().completed, 8);
+}
+
+TEST(ServeServerTest, CacheHitsRepeatQueriesAndStaysBitwise) {
+  const Frozen& f = SharedFrozen();
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, Adjacency(f.data), QuietOptions());
+  ASSERT_TRUE(server.ok());
+  Result<Prediction> first = (*server)->Predict({0, 7, true});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  Result<Prediction> second = (*server)->Predict({0, 7, true});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(std::memcmp(first->probs.data(), second->probs.data(),
+                        first->probs.size() * sizeof(float)),
+            0);
+  const ServeStats stats = (*server)->Stats();
+  EXPECT_GE(stats.cache_hits, 1);
+  EXPECT_GT(stats.cache_bytes, 0);
+}
+
+TEST(ServeServerTest, ZeroCacheBudgetDisablesCaching) {
+  const Frozen& f = SharedFrozen();
+  ServeOptions opts = QuietOptions();
+  opts.cache_mb = 0;
+  Result<std::unique_ptr<Server>> server = Server::Create(f.store, {}, opts);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 3; ++i) {
+    Result<Prediction> p = (*server)->Predict({0, 1, false});
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE(p->cache_hit);
+  }
+  EXPECT_EQ((*server)->Stats().cache_hits, 0);
+}
+
+TEST(ServeServerTest, SmoothMatchesManualEgoGraphMix) {
+  const Frozen& f = SharedFrozen();
+  ServeOptions opts = QuietOptions();
+  opts.smooth_gamma = 0.25;
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, Adjacency(f.data), opts);
+  ASSERT_TRUE(server.ok());
+  const FrozenClient& client = f.store.clients[0];
+  const CsrMatrix& adj = f.data.clients[0].adj;
+  const auto k = static_cast<size_t>(client.num_classes);
+  for (int32_t v : {0, 5, 11}) {
+    Result<Prediction> p = (*server)->Predict({0, v, /*smooth=*/true});
+    ASSERT_TRUE(p.ok());
+    std::vector<float> expect(k), row(k), sum(k, 0.0f);
+    client.ReadRow(v, expect.data());
+    int64_t degree = 0;
+    adj.ForEachInRow(v, [&](int32_t u, float) {
+      client.ReadRow(u, row.data());
+      for (size_t j = 0; j < k; ++j) sum[j] += row[j];
+      ++degree;
+    });
+    if (degree > 0) {
+      const float gamma = 0.25f;
+      const float inv = 1.0f / static_cast<float>(degree);
+      for (size_t j = 0; j < k; ++j) {
+        expect[j] = (1.0f - gamma) * expect[j] + gamma * sum[j] * inv;
+      }
+    }
+    EXPECT_EQ(std::memcmp(p->probs.data(), expect.data(),
+                          k * sizeof(float)),
+              0)
+        << "node " << v;
+  }
+}
+
+TEST(ServeServerTest, RejectsInvalidQueriesWithoutEnqueuing) {
+  const Frozen& f = SharedFrozen();
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, {}, QuietOptions());
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE((*server)->Predict({-1, 0, false}).ok());
+  EXPECT_FALSE((*server)->Predict({99, 0, false}).ok());
+  EXPECT_FALSE((*server)->Predict({0, -1, false}).ok());
+  EXPECT_FALSE((*server)->Predict({0, 1 << 20, false}).ok());
+  // Smooth without adjacency is a client error, not a crash.
+  Result<Prediction> smooth = (*server)->Predict({0, 0, true});
+  ASSERT_FALSE(smooth.ok());
+  EXPECT_EQ(smooth.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ((*server)->Stats().submitted, 0);
+}
+
+TEST(ServeServerTest, CreateValidatesStoreAndOptions) {
+  const Frozen& f = SharedFrozen();
+  EXPECT_FALSE(Server::Create(FrozenStore{}, {}, QuietOptions()).ok());
+  // Adjacency count mismatch.
+  std::vector<CsrMatrix> adj = Adjacency(f.data);
+  adj.pop_back();
+  EXPECT_FALSE(Server::Create(f.store, adj, QuietOptions()).ok());
+  ServeOptions bad = QuietOptions();
+  bad.batch_size = 0;
+  EXPECT_FALSE(Server::Create(f.store, {}, bad).ok());
+  bad = QuietOptions();
+  bad.smooth_gamma = 1.5;
+  EXPECT_FALSE(Server::Create(f.store, {}, bad).ok());
+}
+
+TEST(ServeServerTest, StatsReportLatencyQuantiles) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  const Frozen& f = SharedFrozen();
+  Result<std::unique_ptr<Server>> server =
+      Server::Create(f.store, {}, QuietOptions());
+  ASSERT_TRUE(server.ok());
+  for (int32_t v = 0; v < 32; ++v) {
+    ASSERT_TRUE((*server)->Predict({0, v % 8, false}).ok());
+  }
+  const ServeStats stats = (*server)->Stats();
+  EXPECT_EQ(stats.completed, 32);
+  EXPECT_GT(stats.p50_latency_ns, 0.0);
+  EXPECT_GE(stats.p99_latency_ns, stats.p50_latency_ns);
+  EXPECT_GT(stats.mean_latency_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace adafgl::serve

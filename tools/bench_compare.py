@@ -9,8 +9,12 @@ when any method regresses beyond the thresholds:
   wall_seconds       > +10%   (ADAFGL_BENCH_WALL_TOL overrides, fraction)
   peak_tensor_bytes  > +5%    (ADAFGL_BENCH_MEM_TOL overrides, fraction)
 
-Methods present in only one file are reported but never fail the gate
-(new benches come and go). With fewer than two trajectory files the gate
+wall_seconds is gated only when both files carry the same host
+fingerprint (bench_merge stamps CPU model + core count): absolute
+timings from different machines are not comparable, so cross-host wall
+deltas are reported as notes. peak_tensor_bytes is deterministic and
+gated regardless. Methods present in only one file are reported but
+never fail the gate (new benches come and go). With fewer than two trajectory files the gate
 passes trivially — there is nothing to compare yet.
 
 usage:
@@ -44,6 +48,20 @@ def compare(baseline, candidate):
     """Returns (regressions, notes): lists of human-readable lines."""
     regressions = []
     notes = []
+    # Wall-clock is only comparable when both trajectory files were
+    # recorded on the same machine (bench_merge stamps a host
+    # fingerprint). Across hosts — or against pre-fingerprint files —
+    # wall deltas are reported but not gated; deterministic quantities
+    # (peak_tensor_bytes) are gated regardless.
+    same_host = (
+        baseline.get("host") is not None
+        and baseline.get("host") == candidate.get("host")
+    )
+    if not same_host:
+        notes.append(
+            "  host fingerprint differs or is missing: "
+            "wall_seconds reported, not gated"
+        )
     base_methods = baseline.get("methods", {})
     cand_methods = candidate.get("methods", {})
     for name in sorted(set(base_methods) | set(cand_methods)):
@@ -63,14 +81,34 @@ def compare(baseline, candidate):
             if bv <= 0:
                 continue
             ratio = (cv - bv) / bv
+            gated = same_host or key != "wall_seconds"
             line = (
                 f"  {name}.{key}: {bv:g}{unit} -> {cv:g}{unit} "
-                f"({ratio:+.1%}, tol +{tol:.0%})"
+                f"({ratio:+.1%}, tol +{tol:.0%}"
+                f"{'' if gated else ', cross-host: not gated'})"
             )
-            if ratio > tol:
+            if gated and ratio > tol:
                 regressions.append(line)
             else:
                 notes.append(line)
+    # Serving summary (trajectory files merged from schema-v4 inputs):
+    # informational only — serving QPS is machine-sensitive, so it is
+    # reported but never gated.
+    b_serve = baseline.get("serve", {})
+    c_serve = candidate.get("serve", {})
+    if c_serve.get("completed", 0) > 0:
+        if b_serve.get("completed", 0) > 0:
+            notes.append(
+                f"  serve.qps: {b_serve.get('qps', 0):.0f} -> "
+                f"{c_serve.get('qps', 0):.0f} (not gated)"
+            )
+            notes.append(
+                f"  serve.p99_latency_us: "
+                f"{b_serve.get('p99_latency_us', 0):.1f} -> "
+                f"{c_serve.get('p99_latency_us', 0):.1f} (not gated)"
+            )
+        else:
+            notes.append("  serve: new serving summary (no baseline)")
     return regressions, notes
 
 
@@ -97,6 +135,7 @@ def self_test():
     """Verifies the gate fails on injected regressions and passes otherwise."""
     base = {
         "schema_version": 1,
+        "host": {"cpu": "test-cpu", "cores": 1},
         "methods": {
             "AdaFGL": {
                 "wall_seconds": 10.0,
@@ -160,6 +199,24 @@ def self_test():
                 "NewMethod", {"wall_seconds": 1.0}
             ),
             want_fail=False,
+        ),
+        check(
+            "wall +15% on a different host (not gated)",
+            lambda c: (
+                c.__setitem__("host", {"cpu": "other-cpu", "cores": 8}),
+                c["methods"]["AdaFGL"].__setitem__("wall_seconds", 11.5),
+            ),
+            want_fail=False,
+        ),
+        check(
+            "peak mem +8% on a different host (still gated)",
+            lambda c: (
+                c.__setitem__("host", {"cpu": "other-cpu", "cores": 8}),
+                c["methods"]["FedGL"].__setitem__(
+                    "peak_tensor_bytes", int((1 << 19) * 1.08)
+                ),
+            ),
+            want_fail=True,
         ),
     ]
     if all(results):

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Merges one or more bench.json documents into a perf-trajectory file.
 
-Input: bench.json files (schema_version 2 or 3, see src/eval/bench_json.h)
-emitted by the bench binaries under ADAFGL_METRICS=1. Output: one
-BENCH_<seq>.json document summarising per-method cost:
+Input: bench.json files (schema_version 2, 3 or 4, see
+src/eval/bench_json.h) emitted by the bench binaries under
+ADAFGL_METRICS=1. Output: one BENCH_<seq>.json document summarising
+per-method cost:
 
 ```json
 {
@@ -17,9 +18,15 @@ BENCH_<seq>.json document summarising per-method cost:
     "AdaFGL": {"wall_seconds", "flops", "wire_bytes",
                "peak_tensor_bytes", "runs"},
     ...
-  }
+  },
+  "serve": {...}   # schema-v4 serving summary, {} when no input has one
 }
 ```
+
+Schema v4 inputs may carry a `serve` block (the online-serving load
+bench); the last input with non-zero serve.requests wins. v2/v3 inputs
+(and v4 training benches, which emit an all-zero block) contribute
+nothing, keeping the merger backward-compatible.
 
 Per method, runs are aggregated: wall_seconds/flops/wire_bytes sum,
 peak_tensor_bytes takes the max. tools/bench_runner.sh drives this;
@@ -29,7 +36,28 @@ usage: bench_merge.py --seq N --out BENCH_0001.json bench1.json [...]
 """
 import argparse
 import json
+import os
+import platform
+import re
 import sys
+
+
+def host_fingerprint():
+    """Stable machine identity: CPU model + logical core count.
+
+    bench_compare.py gates wall-clock only when baseline and candidate
+    share this fingerprint — absolute timings recorded on different
+    hosts/containers are not comparable, while byte counts are.
+    """
+    model = platform.machine()
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as f:
+            m = re.search(r"^model name\s*:\s*(.+)$", f.read(), re.M)
+        if m:
+            model = m.group(1).strip()
+    except OSError:
+        pass
+    return {"cpu": model, "cores": os.cpu_count() or 0}
 
 
 def merge(docs):
@@ -43,12 +71,16 @@ def merge(docs):
     }
     sources = []
     knobs = {}
+    serve = {}
     for doc in docs:
-        if doc.get("schema_version") not in (2, 3):
+        if doc.get("schema_version") not in (2, 3, 4):
             sys.exit(
-                "bench_merge: expected bench.json schema_version 2 or 3, "
+                "bench_merge: expected bench.json schema_version 2, 3 or 4, "
                 f"got {doc.get('schema_version')!r}"
             )
+        doc_serve = doc.get("serve", {})
+        if doc_serve.get("requests", 0) > 0:
+            serve = doc_serve
         sources.append(doc.get("experiment", ""))
         if not knobs:
             knobs = doc.get("knobs", {})
@@ -87,6 +119,8 @@ def merge(docs):
         "knobs": knobs,
         "process": process,
         "methods": {k: methods[k] for k in sorted(methods)},
+        "serve": serve,
+        "host": host_fingerprint(),
     }
 
 

@@ -20,12 +20,13 @@ build="${BUILD_DIR:-$root/build}"
 outdir="${OUT_DIR:-$root}"
 bin="$build/bench/table8_paradigm_summary"
 kernels_bin="$build/bench/micro_kernels"
+serve_bin="$build/bench/serve_load"
 
-if [[ ! -x "$bin" || ! -x "$kernels_bin" ]]; then
-  echo "building table8_paradigm_summary + micro_kernels..." >&2
+if [[ ! -x "$bin" || ! -x "$kernels_bin" || ! -x "$serve_bin" ]]; then
+  echo "building table8_paradigm_summary + micro_kernels + serve_load..." >&2
   cmake -B "$build" -S "$root" >/dev/null
   cmake --build "$build" -j --target table8_paradigm_summary \
-    --target micro_kernels >/dev/null
+    --target micro_kernels --target serve_load >/dev/null
 fi
 
 # Next sequence number: 1 + the highest BENCH_<seq>.json present.
@@ -73,9 +74,25 @@ if [[ ! -s "$tmp/kernels.json" ]]; then
   exit 1
 fi
 
+# Online-serving closed loop (adafgl::serve): pinned train knobs + a
+# pinned Zipfian load, recorded as the schema-v4 `serve` block. QPS and
+# latency are machine-sensitive, so bench_compare reports them without
+# gating.
+echo "bench_runner: running serve_load (pinned Zipfian closed loop)..." >&2
+ADAFGL_SEEDS=1 ADAFGL_ROUNDS=3 ADAFGL_EPOCHS=1 ADAFGL_POST_EPOCHS=2 \
+  ADAFGL_SERVE_THREADS=2 ADAFGL_SERVE_QUERIES=20000 \
+  ADAFGL_BENCH_JSON="$tmp/serve.json" \
+  "$serve_bin" >"$tmp/serve.stdout" 2>"$tmp/serve.stderr"
+
+if [[ ! -s "$tmp/serve.json" ]]; then
+  echo "bench_runner: FAIL: serve_load did not write bench.json" >&2
+  cat "$tmp/serve.stderr" >&2
+  exit 1
+fi
+
 # table8 first: its pinned knobs label the trajectory file.
 python3 "$root/tools/bench_merge.py" --seq "$seq" --out "$out" \
-  "$tmp/table8.json" "$tmp/kernels.json"
+  "$tmp/table8.json" "$tmp/kernels.json" "$tmp/serve.json"
 
 # Gate against the previous trajectory file (trivially OK when this is
 # the first one).
